@@ -1,0 +1,313 @@
+(* plimc — endurance-aware PLiM compiler driver.
+
+   Compile a named benchmark or a [.mig] file to PLiM assembly under any of
+   the paper's configurations, inspect write-traffic statistics, execute
+   programs on the behavioural crossbar, and export graphs. *)
+
+module Mig = Plim_mig.Mig
+module Mig_io = Plim_mig.Mig_io
+module Suite = Plim_benchgen.Suite
+module Recipe = Plim_rewrite.Recipe
+module Pipeline = Plim_core.Pipeline
+module Verify = Plim_core.Verify
+module Program = Plim_isa.Program
+module Asm = Plim_isa.Asm
+module Stats = Plim_stats.Stats
+module Lifetime = Plim_stats.Lifetime
+module Controller = Plim_machine.Plim_controller
+
+open Cmdliner
+
+(* ---------------------------------------------------------------- *)
+
+let load_mig source =
+  if Sys.file_exists source then
+    if Filename.check_suffix source ".blif" then Plim_mig.Blif.read_file source
+    else Mig_io.read_file source
+  else
+    match Suite.find source with
+    | spec -> Suite.build_cached spec
+    | exception Not_found ->
+      Printf.eprintf
+        "plimc: %S is neither a file nor a known benchmark (try 'plimc list')\n" source;
+      exit 1
+
+let preset_of_string = function
+  | "naive" -> Ok Pipeline.naive
+  | "dac16" -> Ok Pipeline.dac16
+  | "min-write" -> Ok Pipeline.min_write
+  | "endurance-rewrite" -> Ok Pipeline.endurance_rewrite
+  | "endurance-full" -> Ok Pipeline.endurance_full
+  | s -> Error (`Msg (Printf.sprintf "unknown configuration %S" s))
+
+let preset_conv =
+  Arg.conv
+    ( (fun s -> preset_of_string s),
+      fun ppf c -> Format.pp_print_string ppf (Pipeline.config_name c) )
+
+let config_arg =
+  let doc =
+    "Compiler configuration: naive, dac16, min-write, endurance-rewrite or \
+     endurance-full."
+  in
+  Arg.(value & opt preset_conv Pipeline.endurance_full & info [ "c"; "config" ] ~doc)
+
+let cap_arg =
+  let doc = "Maximum write count strategy: cap per-device writes at $(docv) (>= 3)." in
+  Arg.(value & opt (some int) None & info [ "cap" ] ~docv:"N" ~doc)
+
+let rewriting_arg =
+  let cenum =
+    Arg.enum
+      [ ("none", Recipe.No_rewriting); ("dac16", Recipe.Algorithm1);
+        ("endurance", Recipe.Algorithm2) ]
+  in
+  Arg.(value & opt (some cenum) None
+       & info [ "rewriting" ] ~docv:"R"
+           ~doc:"Override the MIG rewriting recipe: none, dac16 or endurance.")
+
+let selection_arg =
+  let cenum =
+    Arg.enum
+      [ ("in-order", Plim_core.Select.In_order);
+        ("release-first", Plim_core.Select.Release_first);
+        ("level-first", Plim_core.Select.Level_first) ]
+  in
+  Arg.(value & opt (some cenum) None
+       & info [ "selection" ] ~docv:"S"
+           ~doc:"Override node selection: in-order, release-first or level-first.")
+
+let allocation_arg =
+  let cenum =
+    Arg.enum
+      [ ("lifo", Plim_core.Alloc.Lifo); ("fifo", Plim_core.Alloc.Fifo);
+        ("min-write", Plim_core.Alloc.Min_write) ]
+  in
+  Arg.(value & opt (some cenum) None
+       & info [ "allocation" ] ~docv:"A"
+           ~doc:"Override device allocation: lifo, fifo or min-write.")
+
+let override config rewriting selection allocation =
+  let config =
+    match rewriting with Some r -> { config with Pipeline.rewriting = r } | None -> config
+  in
+  let config =
+    match selection with Some s -> { config with Pipeline.selection = s } | None -> config
+  in
+  match allocation with
+  | Some a -> { config with Pipeline.allocation = a }
+  | None -> config
+
+let effort_arg =
+  let doc = "MIG rewriting cycles (the paper uses 5)." in
+  Arg.(value & opt int 5 & info [ "effort" ] ~doc)
+
+let source_arg =
+  let doc = "Benchmark name (see $(b,plimc list)) or a .mig file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
+
+(* ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %-15s %6s %6s\n" "name" "family" "PI" "PO";
+    List.iter
+      (fun spec ->
+        Printf.printf "%-12s %-15s %6d %6d\n" spec.Suite.name
+          (match spec.Suite.family with
+          | Suite.Arithmetic -> "arithmetic"
+          | Suite.Random_control -> "random-control")
+          spec.Suite.pi spec.Suite.po)
+      Suite.all;
+    Printf.printf "\nsmall test instances: %s\n"
+      (String.concat ", " (List.map (fun s -> s.Suite.name) Suite.small_suite))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
+
+let compile_run source config cap effort rewriting selection allocation output dot verify =
+  let config = override config rewriting selection allocation in
+  let config = { config with Pipeline.effort } in
+  let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
+  let g = load_mig source in
+  let result = Pipeline.compile config g in
+  let p = result.Pipeline.program in
+  Printf.eprintf "%s: %s: %d instructions, %d devices, %s\n%!" source
+    (Pipeline.config_name config) (Program.length p) (Program.num_cells p)
+    (Format.asprintf "%a" Stats.pp_summary result.Pipeline.write_summary);
+  (match dot with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Mig_io.to_dot result.Pipeline.rewritten);
+    close_out oc;
+    Printf.eprintf "wrote rewritten MIG to %s\n%!" path
+  | None -> ());
+  (if verify then
+     match Verify.check_random ~trials:8 g p with
+     | Ok () -> Printf.eprintf "verification: ok (8 random vectors)\n%!"
+     | Error e ->
+       Printf.eprintf "verification FAILED: %s\n%!" e;
+       exit 1);
+  match output with
+  | Some path ->
+    Asm.write_file path p;
+    Printf.eprintf "wrote PLiM assembly to %s\n%!" path
+  | None -> print_string (Asm.to_string p)
+
+let compile_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write assembly to $(docv).")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Export the rewritten MIG as Graphviz.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ] ~doc:"Execute on the crossbar machine and compare with the MIG.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a benchmark, .mig or .blif file to PLiM assembly.")
+    Term.(
+      const compile_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
+      $ selection_arg $ allocation_arg $ output $ dot $ verify)
+
+let stats_run source config cap effort rewriting selection allocation endurance =
+  let config = override config rewriting selection allocation in
+  let config = { config with Pipeline.effort } in
+  let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
+  let g = load_mig source in
+  let result = Pipeline.compile config g in
+  let p = result.Pipeline.program in
+  let s = result.Pipeline.write_summary in
+  Printf.printf "configuration : %s\n" (Pipeline.config_name config);
+  Printf.printf "MIG           : %d nodes (rewritten %d), depth %d\n" (Mig.size g)
+    (Mig.size result.Pipeline.rewritten)
+    (Mig.depth result.Pipeline.rewritten);
+  Printf.printf "#I            : %d RM3 instructions\n" (Program.length p);
+  Printf.printf "#R            : %d RRAM devices\n" (Program.num_cells p);
+  Printf.printf "writes        : min %d / max %d / mean %.2f / stdev %.2f\n" s.Stats.min
+    s.Stats.max s.Stats.mean s.Stats.stdev;
+  let writes = Program.static_write_counts p in
+  Printf.printf "histogram     :";
+  List.iter
+    (fun (b, c) -> Printf.printf " [%d-%d):%d" b (b + 10) c)
+    (Stats.histogram ~bucket:10 writes);
+  print_newline ();
+  let lt = Lifetime.estimate ~endurance writes in
+  Printf.printf "lifetime      : %s (endurance %.1e writes/cell)\n"
+    (Format.asprintf "%a" Lifetime.pp lt)
+    endurance;
+  Printf.printf "footprint     : %s\n"
+    (Format.asprintf "%a" Plim_isa.Encoding.pp_footprint (Plim_isa.Encoding.footprint p));
+  (* energy of one execution with all-zero inputs *)
+  let inputs = Array.to_list (Array.map (fun (n, _) -> (n, false)) p.Program.pi_cells) in
+  let _, xbar, run_stats = Controller.run p ~inputs in
+  Printf.printf "energy        : %s\n"
+    (Format.asprintf "%a" Plim_machine.Energy.pp_report
+       (Plim_machine.Energy.of_run xbar run_stats))
+
+let stats_cmd =
+  let endurance =
+    Arg.(value & opt float 1e10
+         & info [ "endurance" ] ~docv:"E" ~doc:"Per-cell write endurance budget.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Compile and report write-traffic statistics and lifetime.")
+    Term.(
+      const stats_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
+      $ selection_arg $ allocation_arg $ endurance)
+
+let exec_run path inputs =
+  let p = Asm.read_file path in
+  let n = Array.length p.Program.pi_cells in
+  if String.length inputs <> n then begin
+    Printf.eprintf "plimc run: program has %d inputs, got %d bits\n" n
+      (String.length inputs);
+    exit 1
+  end;
+  let bindings =
+    Array.to_list
+      (Array.mapi (fun i (name, _) -> (name, inputs.[i] = '1')) p.Program.pi_cells)
+  in
+  let outputs, xbar, stats = Controller.run p ~inputs:bindings in
+  List.iter (fun (name, v) -> Printf.printf "%s = %d\n" name (if v then 1 else 0)) outputs;
+  Printf.printf "(%d instructions, %d cycles, max device writes %d)\n"
+    stats.Controller.instructions stats.Controller.cycles
+    (Array.fold_left max 0 (Plim_rram.Crossbar.write_counts xbar))
+
+let run_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"PROGRAM" ~doc:"PLiM assembly file.")
+  in
+  let inputs =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"BITS" ~doc:"Input bits in PI declaration order, e.g. 1011.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a PLiM assembly file on the crossbar machine.")
+    Term.(const exec_run $ path $ inputs)
+
+let export_run source output =
+  let g = load_mig source in
+  let serialise path =
+    if Filename.check_suffix path ".blif" then Plim_mig.Blif.to_string g
+    else Mig_io.to_string g
+  in
+  match output with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (serialise path);
+    close_out oc;
+    Printf.eprintf "wrote %s\n%!" path
+  | None -> print_string (Mig_io.to_string g)
+
+let export_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write to $(docv) instead of stdout (.blif selects BLIF).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a benchmark as a .mig or .blif file.")
+    Term.(const export_run $ source_arg $ output)
+
+let selftest_run () =
+  let failures = ref 0 in
+  List.iter
+    (fun spec ->
+      let g = spec.Suite.build () in
+      List.iter
+        (fun config ->
+          let r = Pipeline.compile config g in
+          match Verify.check_random ~trials:4 ~seed:0xD0C g r.Pipeline.program with
+          | Ok () -> Printf.printf "ok   %-12s %s\n%!" spec.Suite.name (Pipeline.config_name config)
+          | Error e ->
+            incr failures;
+            Printf.printf "FAIL %-12s %s: %s\n%!" spec.Suite.name
+              (Pipeline.config_name config) e)
+        [ Pipeline.naive; Pipeline.endurance_full;
+          Pipeline.with_cap 10 Pipeline.endurance_full ])
+    Suite.small_suite;
+  if !failures > 0 then begin
+    Printf.eprintf "%d failures\n" !failures;
+    exit 1
+  end;
+  print_endline "all self-tests passed"
+
+let selftest_cmd =
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Compile the small benchmark suite under several configurations and verify \
+          each program on the crossbar machine.")
+    Term.(const selftest_run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "plimc" ~version:"1.0.0"
+       ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
+    [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; selftest_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adder_walkthrough.ml: List Plim_benchgen Plim_core Plim_isa Plim_mig Plim_stats Printf

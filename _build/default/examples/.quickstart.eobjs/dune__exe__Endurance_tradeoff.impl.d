@@ -1,0 +1,1 @@
+examples/endurance_tradeoff.ml: Array List Plim_benchgen Plim_core Plim_isa Plim_rewrite Plim_stats Printf Sys

@@ -1,0 +1,1 @@
+examples/fig1_unbalanced.ml: Array Plim_core Plim_isa Plim_mig Plim_stats Printf

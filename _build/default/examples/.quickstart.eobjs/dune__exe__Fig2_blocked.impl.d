@@ -1,0 +1,1 @@
+examples/fig2_blocked.ml: Plim_core Plim_isa Plim_mig Plim_stats Printf

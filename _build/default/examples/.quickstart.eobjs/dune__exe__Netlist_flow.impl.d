@@ -1,0 +1,1 @@
+examples/netlist_flow.ml: Array Format Plim_core Plim_isa Plim_machine Plim_mig Plim_stats Printf

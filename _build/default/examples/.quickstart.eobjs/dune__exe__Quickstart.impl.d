@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Plim_core Plim_isa Plim_machine Plim_mig Plim_rram Plim_stats Printf String

@@ -1,0 +1,60 @@
+(* Figure 2 of the paper: blocked RRAMs.
+
+   Node A feeds targets several levels up, so the device holding its value
+   stays blocked while the devices of B and C are released and rewritten
+   again — unbalanced wear caused purely by scheduling.  The paper's
+   endurance-aware node selection (Algorithm 3) computes nodes with the
+   smallest fanout level index first, postponing long-storage nodes like A.
+
+     dune exec examples/fig2_blocked.exe *)
+
+module Mig = Plim_mig.Mig
+module Pipeline = Plim_core.Pipeline
+module Select = Plim_core.Select
+module Program = Plim_isa.Program
+module Stats = Plim_stats.Stats
+
+(* The paper's example, tiled [copies] times so the statistics are visible:
+   in each tile, node A is computed from the tile's own input and then
+   waits until the root G consumes it, while B..F release their devices
+   quickly.  A per-tile input keeps the tiles structurally distinct. *)
+let fig2_mig copies =
+  let g = Mig.create () in
+  let x0 = Mig.add_input g "x0" in
+  let x1 = Mig.add_input g "x1" in
+  let x2 = Mig.add_input g "x2" in
+  for k = 0 to copies - 1 do
+    let t = Mig.add_input g (Printf.sprintf "t%d" k) in
+    let a = Mig.maj g x0 (Mig.not_ x1) t in             (* long-waiting node A *)
+    let b = Mig.maj g x0 x2 (Mig.not_ t) in
+    let c = Mig.maj g x1 (Mig.not_ x2) t in
+    let d = Mig.maj g b c (Mig.not_ x0) in
+    let e = Mig.maj g b (Mig.not_ c) x1 in
+    let f = Mig.maj g d e (Mig.not_ x2) in
+    let root = Mig.maj g a f t in                       (* A consumed last *)
+    Mig.add_output g (Printf.sprintf "g%d" k) root
+  done;
+  g
+
+let () =
+  let g = fig2_mig 40 in
+  Printf.printf "Fig. 2 MIG (40 tiles): %d nodes, depth %d\n\n" (Mig.size g) (Mig.depth g);
+  let show name selection =
+    let config = { Pipeline.min_write with Pipeline.selection } in
+    let r = Pipeline.compile config g in
+    Printf.printf "%-34s #I=%-4d #R=%-3d writes min/max %d/%d stdev %.2f\n" name
+      (Program.length r.Pipeline.program)
+      (Program.num_cells r.Pipeline.program)
+      r.Pipeline.write_summary.Stats.min r.Pipeline.write_summary.Stats.max
+      r.Pipeline.write_summary.Stats.stdev
+  in
+  show "in-order (naive scheduling)" Select.In_order;
+  show "release-first (DAC'16 [21])" Select.Release_first;
+  show "level-first (Algorithm 3)" Select.Level_first;
+  print_newline ();
+  print_endline
+    "Level-first scheduling computes the short-storage nodes (B, C, D, E, F)\n\
+     before the long-waiting node A, so devices are released and reused at a\n\
+     similar rhythm and the write distribution tightens.  As the paper notes,\n\
+     blocked devices cannot be eliminated entirely: the sequential PLiM always\n\
+     keeps a waiting list of devices blocked until the root is computed."

@@ -1,0 +1,1 @@
+lib/benchgen/arith.ml: Array Float List Plim_mig Printf Word

@@ -1,0 +1,1 @@
+lib/benchgen/arith.mli: Plim_mig

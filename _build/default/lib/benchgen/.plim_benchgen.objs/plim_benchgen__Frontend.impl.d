@@ -1,0 +1,1 @@
+lib/benchgen/frontend.ml: Plim_mig

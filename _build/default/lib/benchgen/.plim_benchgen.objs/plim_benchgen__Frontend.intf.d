@@ -1,0 +1,1 @@
+lib/benchgen/frontend.mli: Plim_mig

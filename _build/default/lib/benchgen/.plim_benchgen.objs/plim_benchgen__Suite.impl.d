@@ -1,0 +1,1 @@
+lib/benchgen/suite.ml: Arith Frontend Hashtbl List Plim_mig String

@@ -1,0 +1,1 @@
+lib/benchgen/suite.mli: Plim_mig

@@ -1,0 +1,1 @@
+lib/benchgen/word.ml: Array Plim_mig Printf

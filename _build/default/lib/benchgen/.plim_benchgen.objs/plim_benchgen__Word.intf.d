@@ -1,0 +1,1 @@
+lib/benchgen/word.mli: Plim_mig

@@ -1,0 +1,211 @@
+module Mig = Plim_mig.Mig
+
+let adder ~width =
+  let g = Mig.create () in
+  let a = Word.input g "a" width in
+  let b = Word.input g "b" width in
+  let sum, carry = Word.add g a b in
+  Word.output g "s" sum;
+  Mig.add_output g "cout" carry;
+  g
+
+let log2_width_of n =
+  let rec go acc v = if v <= 1 then max acc 1 else go (acc + 1) ((v + 1) / 2) in
+  go 0 n
+
+let bar ~width =
+  let g = Mig.create () in
+  let data = Word.input g "d" width in
+  let amount = Word.input g "sh" (log2_width_of width) in
+  Word.output g "q" (Word.barrel_shift_right g data ~amount);
+  g
+
+let div ~width =
+  let g = Mig.create () in
+  let dividend = Word.input g "n" width in
+  let divisor = Word.input g "d" width in
+  let q, r = Word.divmod g dividend divisor in
+  Word.output g "q" q;
+  Word.output g "r" r;
+  g
+
+let multiplier ~width =
+  let g = Mig.create () in
+  let a = Word.input g "a" width in
+  let b = Word.input g "b" width in
+  Word.output g "p" (Word.mul g a b);
+  g
+
+let square ~width =
+  let g = Mig.create () in
+  let a = Word.input g "a" width in
+  Word.output g "p" (Word.square g a);
+  g
+
+let sqrt ~width =
+  let g = Mig.create () in
+  let n = Word.input g "n" (2 * width) in
+  Word.output g "r" (Word.isqrt g n);
+  g
+
+let dec ~bits =
+  let g = Mig.create () in
+  let sel = Word.input g "s" bits in
+  Word.output g "d" (Word.decode g sel);
+  g
+
+let priority ~width =
+  let g = Mig.create () in
+  let req = Word.input g "r" width in
+  let index, valid = Word.priority_encode g req in
+  Word.output g "idx" index;
+  Mig.add_output g "valid" valid;
+  g
+
+let voter ~inputs =
+  if inputs mod 2 = 0 then invalid_arg "Arith.voter: even input count";
+  let g = Mig.create () in
+  let votes = Word.input g "v" inputs in
+  let count = Word.popcount g votes in
+  let threshold = Word.constant g ~width:(Word.width count) ((inputs + 1) / 2) in
+  Mig.add_output g "maj" (Mig.not_ (Word.less_than g count threshold));
+  g
+
+let max ~width ~operands =
+  if operands < 2 then invalid_arg "Arith.max: need at least two operands";
+  let g = Mig.create () in
+  let iw = log2_width_of operands in
+  let entries =
+    List.init operands (fun i ->
+        (Word.input g (Printf.sprintf "x%d" i) width, Word.constant g ~width:iw i))
+  in
+  let combine (wa, ia) (wb, ib) =
+    let lt = Word.less_than g wa wb in
+    (Word.mux_word g lt wb wa, Word.mux_word g lt ib ia)
+  in
+  let rec tournament = function
+    | [] -> invalid_arg "Arith.max: empty"
+    | [ e ] -> e
+    | entries ->
+      let rec pair = function
+        | a :: b :: rest -> combine a b :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      tournament (pair entries)
+  in
+  let best, idx = tournament entries in
+  Word.output g "max" best;
+  Word.output g "idx" idx;
+  g
+
+(* --- log2: 5 integer bits via priority encoding, 27 fraction bits via
+   iterated squaring of a 16-bit normalised mantissa (1.15 fixed point) --- *)
+
+let log2_frac_bits = 27
+let log2_mant_bits = 16
+
+let log2 () =
+  let g = Mig.create () in
+  let x = Word.input g "x" 32 in
+  let idx, _valid = Word.priority_encode g x in
+  (* shift = 31 - idx, so the leading one lands on bit 31 *)
+  let thirty_one = Word.constant g ~width:(Word.width idx) 31 in
+  let shift, _ = Word.sub g thirty_one idx in
+  let normalised = Word.barrel_shift_left g x ~amount:shift in
+  let m = ref (Word.slice normalised ~lo:16 ~len:log2_mant_bits) in
+  let frac = Array.make log2_frac_bits Mig.false_ in
+  for k = 0 to log2_frac_bits - 1 do
+    (* p = m*m is 2.30 fixed point in [1,4); p >= 2 iff bit 31 *)
+    let p = Word.mul g !m !m in
+    let ge2 = p.(31) in
+    frac.(k) <- ge2;
+    let halved = Word.slice p ~lo:16 ~len:log2_mant_bits in
+    let kept = Word.slice p ~lo:15 ~len:log2_mant_bits in
+    m := Word.mux_word g ge2 halved kept
+  done;
+  (* output: idx in bits 31..27, fraction f1..f27 in bits 26..0 *)
+  let out = Array.make 32 Mig.false_ in
+  for k = 0 to log2_frac_bits - 1 do
+    out.(26 - k) <- frac.(k)
+  done;
+  Array.iteri (fun i s -> out.(27 + i) <- s) idx;
+  Word.output g "y" out;
+  g
+
+let log2_reference input =
+  if Array.length input <> 32 then invalid_arg "log2_reference: want 32 bits";
+  let x = ref 0 in
+  Array.iteri (fun i b -> if b then x := !x lor (1 lsl i)) input;
+  let x = !x in
+  let out =
+    if x = 0 then 0
+    else begin
+      let idx =
+        let rec go i = if x lsr i <> 0 then i else go (i - 1) in
+        go 31
+      in
+      let y = (x lsl (31 - idx)) land 0xFFFFFFFF in
+      let m = ref ((y lsr 16) land 0xFFFF) in
+      let frac = ref 0 in
+      for k = 0 to log2_frac_bits - 1 do
+        let p = !m * !m in
+        let ge2 = (p lsr 31) land 1 = 1 in
+        if ge2 then frac := !frac lor (1 lsl (26 - k));
+        m := (if ge2 then p lsr 16 else p lsr 15) land 0xFFFF
+      done;
+      !frac lor (idx lsl 27)
+    end
+  in
+  Array.init 32 (fun i -> (out lsr i) land 1 = 1)
+
+(* --- sin: degree-5 odd polynomial for sin(x * pi/2), x in [0,1) as 0.24
+   fixed point; output 1.24 fixed point (25 bits). --- *)
+
+let fix24 c = int_of_float (Float.round (c *. 16777216.0))
+
+let sin_a1 = fix24 1.57079632679 (* pi/2 *)
+let sin_a3 = fix24 0.64596409750 (* (pi/2)^3 / 6 *)
+let sin_a5 = fix24 0.07969262624 (* (pi/2)^5 / 120 *)
+let sin_a7 = fix24 0.00468175413 (* (pi/2)^7 / 5040 *)
+
+let sin () =
+  let g = Mig.create () in
+  let x = Word.input g "x" 24 in
+  let scale24 w = Word.slice w ~lo:24 ~len:(Word.width w - 24) in
+  let x2 = Word.slice (scale24 (Word.mul g x x)) ~lo:0 ~len:24 in
+  let x3 = Word.slice (scale24 (Word.mul g x x2)) ~lo:0 ~len:24 in
+  let x5 = Word.slice (scale24 (Word.mul g x3 x2)) ~lo:0 ~len:24 in
+  let x7 = Word.slice (scale24 (Word.mul g x5 x2)) ~lo:0 ~len:24 in
+  let term w coeff coeff_width =
+    let c = Word.constant g ~width:coeff_width coeff in
+    Word.zero_extend (scale24 (Word.mul g w c)) 25
+  in
+  let t1 = term x sin_a1 25 in
+  let t3 = term x3 sin_a3 24 in
+  let t5 = term x5 sin_a5 24 in
+  let t7 = term x7 sin_a7 24 in
+  let pos, _ = Word.add g t1 t5 in
+  let neg, _ = Word.add g t3 t7 in
+  let result, _ = Word.sub g pos neg in
+  Word.output g "y" result;
+  g
+
+let sin_reference input =
+  if Array.length input <> 24 then invalid_arg "sin_reference: want 24 bits";
+  let x = ref 0 in
+  Array.iteri (fun i b -> if b then x := !x lor (1 lsl i)) input;
+  let x = !x in
+  let mask25 = (1 lsl 25) - 1 in
+  let x2 = (x * x) lsr 24 in
+  let x3 = (x * x2) lsr 24 in
+  let x5 = (x3 * x2) lsr 24 in
+  let x7 = (x5 * x2) lsr 24 in
+  let t1 = (x * sin_a1) lsr 24 land mask25 in
+  let t3 = (x3 * sin_a3) lsr 24 land mask25 in
+  let t5 = (x5 * sin_a5) lsr 24 land mask25 in
+  let t7 = (x7 * sin_a7) lsr 24 land mask25 in
+  let pos = (t1 + t5) land mask25 in
+  let neg = (t3 + t7) land mask25 in
+  let result = (pos - neg + (1 lsl 25)) land mask25 in
+  Array.init 25 (fun i -> (result lsr i) land 1 = 1)

@@ -1,0 +1,52 @@
+(** Structural generators for the arithmetic benchmark family (and the
+    regular control blocks) with the PI/PO counts of the paper's Table I.
+
+    Every generator takes explicit widths so tests can exercise small
+    instances; [Suite] instantiates the paper-sized versions.  See
+    DESIGN.md for the log2/sin fixed-point conventions. *)
+
+module Mig = Plim_mig.Mig
+
+val adder : width:int -> Mig.t
+(** [width]-bit ripple-carry adder: PI 2w, PO w+1. *)
+
+val bar : width:int -> Mig.t
+(** Barrel shifter (logical right): PI w + log2 w, PO w. *)
+
+val div : width:int -> Mig.t
+(** Restoring divider: PI 2w, PO 2w (quotient, remainder). *)
+
+val log2 : unit -> Mig.t
+(** 32-bit fixed-point base-2 logarithm: 5 integer bits from a priority
+    encoder, 27 fraction bits by iterated squaring of a 16-bit normalised
+    mantissa.  PI 32, PO 32. *)
+
+val log2_reference : bool array -> bool array
+(** Bit-accurate software model of {!log2} (same fixed-point algorithm). *)
+
+val max : width:int -> operands:int -> Mig.t
+(** Tournament maximum of [operands] unsigned words: PO w + index bits. *)
+
+val multiplier : width:int -> Mig.t
+(** Array multiplier: PI 2w, PO 2w. *)
+
+val sin : unit -> Mig.t
+(** 24-bit fixed-point sine of [x * pi/2] for [x] in [0,1), degree-5 odd
+    polynomial, 0.24-input / 1.24-output format.  PI 24, PO 25. *)
+
+val sin_reference : bool array -> bool array
+
+val sqrt : width:int -> Mig.t
+(** Digit-recurrence square root: PI 2w, PO w. *)
+
+val square : width:int -> Mig.t
+(** Squarer: PI w, PO 2w. *)
+
+val dec : bits:int -> Mig.t
+(** [bits]-to-[2^bits] decoder: PI n, PO 2^n. *)
+
+val priority : width:int -> Mig.t
+(** Priority encoder: PI w, PO ceil(log2 w) + valid. *)
+
+val voter : inputs:int -> Mig.t
+(** Majority voter over an odd number of inputs: PO 1. *)

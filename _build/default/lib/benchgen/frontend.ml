@@ -1,0 +1,23 @@
+module Mig = Plim_mig.Mig
+
+(* <a b c> = (a & b) | (a & c) | (b & c), all in AND/inverter form.
+   Conjunctions keep the [<x y 0>] majority shape; disjunctions are De
+   Morgan inversions, so the complement structure matches what an AIG
+   reader would produce. *)
+let expand g =
+  Mig.map_rebuild g ~rule:(fun g' ~old_id:_ a b c ->
+      let and2 x y = Mig.maj g' x y Mig.false_ in
+      let or2 x y = Mig.not_ (and2 (Mig.not_ x) (Mig.not_ y)) in
+      if Mig.is_const a then (if Mig.is_complemented a then or2 b c else and2 b c)
+      else if Mig.is_const b then (if Mig.is_complemented b then or2 a c else and2 a c)
+      else if Mig.is_const c then (if Mig.is_complemented c then or2 a b else and2 a b)
+      else or2 (and2 a b) (or2 (and2 a c) (and2 b c)))
+
+let is_aig g =
+  let ok = ref true in
+  Mig.iter_reachable_maj g (fun id ->
+      match Mig.kind g id with
+      | Mig.Maj (a, b, c) ->
+        if not (Mig.is_const a || Mig.is_const b || Mig.is_const c) then ok := false
+      | Mig.Const | Mig.Input _ -> ());
+  !ok

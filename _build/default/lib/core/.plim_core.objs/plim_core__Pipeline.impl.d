@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Alloc Array Format Plim_isa Plim_mig Plim_rewrite Plim_stats Plim_util Printf Select Translate

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Alloc Format Plim_isa Plim_mig Plim_rewrite Plim_stats Select

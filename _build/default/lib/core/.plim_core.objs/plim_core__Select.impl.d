@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Plim_mig Plim_util

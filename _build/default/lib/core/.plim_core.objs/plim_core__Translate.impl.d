@@ -1,0 +1,1 @@
+lib/core/translate.ml: Alloc Array Hashtbl List Plim_isa Plim_mig Plim_util

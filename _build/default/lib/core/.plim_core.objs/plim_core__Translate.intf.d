@@ -1,0 +1,1 @@
+lib/core/translate.mli: Alloc Plim_isa Plim_mig Plim_util

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array List Plim_isa Plim_logic Plim_machine Plim_mig Plim_rram Plim_util Printf

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Plim_isa Plim_mig

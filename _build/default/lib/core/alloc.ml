@@ -1,0 +1,184 @@
+module Vec = Plim_util.Vec
+
+type strategy = Lifo | Fifo | Min_write
+
+(* Binary min-heap over (writes, cell).  Keys are stable while a cell is
+   pooled: pooled devices are dead and receive no writes. *)
+module Heap = struct
+  type t = {
+    mutable data : (int * int) array;
+    mutable len : int;
+  }
+
+  let create () = { data = Array.make 64 (0, -1); len = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if h.data.(i) < h.data.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.len && h.data.(l) < h.data.(!smallest) then smallest := l;
+    if r < h.len && h.data.(r) < h.data.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h entry =
+    if h.len = Array.length h.data then begin
+      let data = Array.make (2 * h.len) (0, -1) in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end;
+    h.data.(h.len) <- entry;
+    h.len <- h.len + 1;
+    sift_up h (h.len - 1)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      h.data.(0) <- h.data.(h.len);
+      if h.len > 0 then sift_down h 0;
+      Some top
+    end
+
+  let length h = h.len
+end
+
+type t = {
+  strategy : strategy;
+  max_write : int option;
+  writes : int Vec.t;   (* per ever-allocated device *)
+  stack : int Vec.t;    (* Lifo/Fifo pool *)
+  mutable fifo_head : int;
+  heap : Heap.t;        (* Min_write pool *)
+}
+
+let create ?max_write ~strategy () =
+  (match max_write with
+  | Some w when w < 3 -> invalid_arg "Alloc.create: max_write must be >= 3"
+  | Some _ | None -> ());
+  { strategy;
+    max_write;
+    writes = Vec.create ~dummy:0 ();
+    stack = Vec.create ~dummy:(-1) ();
+    fifo_head = 0;
+    heap = Heap.create () }
+
+let writes_of t cell = Vec.get t.writes cell
+
+let total_allocated t = Vec.length t.writes
+
+let write_counts t = Vec.to_array t.writes
+
+let can_write t cell =
+  match t.max_write with
+  | None -> true
+  | Some w -> writes_of t cell + 1 <= w
+
+(* Devices re-entering the pool must accommodate a constant load plus an
+   RM3 (two writes); anything more worn is retired. *)
+let poolable t cell =
+  match t.max_write with
+  | None -> true
+  | Some w -> writes_of t cell + 2 <= w
+
+let note_write t cell =
+  (match t.max_write with
+  | Some w when writes_of t cell + 1 > w ->
+    invalid_arg (Printf.sprintf "Alloc.note_write: cell %d exceeds cap %d" cell w)
+  | Some _ | None -> ());
+  Vec.set t.writes cell (writes_of t cell + 1)
+
+let fresh t =
+  ignore (Vec.push t.writes 0);
+  Vec.length t.writes - 1
+
+let release t cell =
+  if cell < 0 || cell >= total_allocated t then
+    invalid_arg "Alloc.release: unknown device";
+  if poolable t cell then
+    match t.strategy with
+    | Lifo | Fifo -> ignore (Vec.push t.stack cell)
+    | Min_write -> Heap.push t.heap (writes_of t cell, cell)
+
+let fits t needed cell =
+  match t.max_write with
+  | None -> true
+  | Some w -> writes_of t cell + needed <= w
+
+let request ?(needed = 2) t =
+  match t.strategy with
+  | Lifo ->
+    (* pop until a device fits; re-push the skipped ones preserving order *)
+    let rec hunt stash =
+      match Vec.pop t.stack with
+      | None ->
+        List.iter (fun c -> ignore (Vec.push t.stack c)) stash;
+        fresh t
+      | Some cell ->
+        if fits t needed cell then begin
+          List.iter (fun c -> ignore (Vec.push t.stack c)) stash;
+          cell
+        end
+        else hunt (cell :: stash)
+    in
+    hunt []
+  | Fifo ->
+    let rec hunt stash =
+      if t.fifo_head < Vec.length t.stack then begin
+        let cell = Vec.get t.stack t.fifo_head in
+        t.fifo_head <- t.fifo_head + 1;
+        if fits t needed cell then begin
+          (* skipped devices rejoin at the back of the queue *)
+          List.iter (fun c -> ignore (Vec.push t.stack c)) (List.rev stash);
+          Some cell
+        end
+        else hunt (cell :: stash)
+      end
+      else begin
+        List.iter (fun c -> ignore (Vec.push t.stack c)) (List.rev stash);
+        None
+      end
+    in
+    let result = hunt [] in
+    (* periodically compact the consumed prefix *)
+    if t.fifo_head > 1024 && t.fifo_head * 2 > Vec.length t.stack then begin
+      let remaining =
+        Array.sub (Vec.to_array t.stack) t.fifo_head
+          (Vec.length t.stack - t.fifo_head)
+      in
+      Vec.clear t.stack;
+      Array.iter (fun c -> ignore (Vec.push t.stack c)) remaining;
+      t.fifo_head <- 0
+    end;
+    (match result with Some cell -> cell | None -> fresh t)
+  | Min_write ->
+    (* the least-written device is the most capable: if it does not fit,
+       no pooled device does *)
+    (match Heap.pop t.heap with
+    | Some (_, cell) when fits t needed cell -> cell
+    | Some entry ->
+      Heap.push t.heap entry;
+      fresh t
+    | None -> fresh t)
+
+let free_count t =
+  match t.strategy with
+  | Lifo -> Vec.length t.stack
+  | Fifo -> Vec.length t.stack - t.fifo_head
+  | Min_write -> Heap.length t.heap

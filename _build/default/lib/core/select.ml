@@ -1,0 +1,116 @@
+module Mig = Plim_mig.Mig
+module Lazy_heap = Plim_util.Lazy_heap
+
+type policy = In_order | Release_first | Level_first
+
+let policy_name = function
+  | In_order -> "in-order"
+  | Release_first -> "release-first"
+  | Level_first -> "level-first"
+
+type t = {
+  policy : policy;
+  g : Mig.t;
+  pending : int array;
+  fanout_level : int array;
+  children_left : int array;   (* uncomputed non-trivial children *)
+  computed_mark : bool array;
+  is_candidate : bool array;
+  fanout_lists : int array array;
+  heap : Lazy_heap.t;
+}
+
+(* Number of children whose device is freed (or consumed in place) when
+   [id] is computed. *)
+let releasing t id =
+  match Mig.kind t.g id with
+  | Mig.Maj (a, b, c) ->
+    let count s =
+      let n = Mig.node_of s in
+      if n <> 0 && t.pending.(n) = 1 then 1 else 0
+    in
+    count a + count b + count c
+  | Mig.Const | Mig.Input _ -> 0
+
+let key t id =
+  match t.policy with
+  | In_order -> (id, 0, 0)
+  | Release_first -> (- releasing t id, t.fanout_level.(id), id)
+  | Level_first -> (t.fanout_level.(id), - releasing t id, id)
+
+let add_candidate t id =
+  t.is_candidate.(id) <- true;
+  Lazy_heap.insert t.heap (key t id) id
+
+let create ~policy g ~pending =
+  let n = Mig.num_nodes g in
+  let levels = Mig.levels g in
+  let out_refs = Mig.output_refs g in
+  let fanout_lists = Mig.fanouts g in
+  let fanout_level = Array.make n 0 in
+  for id = 0 to n - 1 do
+    (* level of the nearest consumer: the earliest moment the value can be
+       used (and its device possibly recycled).  A primary output consumes
+       the value as soon as it is produced (level + 1). *)
+    let from_parents =
+      Array.fold_left (fun acc p -> min acc levels.(p)) max_int fanout_lists.(id)
+    in
+    let from_outputs = if out_refs.(id) > 0 then levels.(id) + 1 else max_int in
+    let fl = min from_parents from_outputs in
+    fanout_level.(id) <- (if fl = max_int then levels.(id) + 1 else fl)
+  done;
+  let computed_mark = Array.make n false in
+  let children_left = Array.make n 0 in
+  let t =
+    { policy;
+      g;
+      pending;
+      fanout_level;
+      children_left;
+      computed_mark;
+      is_candidate = Array.make n false;
+      fanout_lists;
+      heap = Lazy_heap.create ~capacity:n }
+  in
+  (* constants and inputs are available from the start *)
+  Mig.iter_reachable_maj g (fun id ->
+      match Mig.kind g id with
+      | Mig.Maj (a, b, c) ->
+        let needs s =
+          match Mig.kind g (Mig.node_of s) with
+          | Mig.Maj _ -> not t.computed_mark.(Mig.node_of s)
+          | Mig.Const | Mig.Input _ -> false
+        in
+        let left =
+          (if needs a then 1 else 0) + (if needs b then 1 else 0)
+          + (if needs c then 1 else 0)
+        in
+        children_left.(id) <- left;
+        if left = 0 then add_candidate t id
+      | Mig.Const | Mig.Input _ -> ());
+  t
+
+let pop t =
+  match Lazy_heap.pop_min t.heap with
+  | None -> None
+  | Some (_, id) ->
+    t.is_candidate.(id) <- false;
+    Some id
+
+let computed t id =
+  t.computed_mark.(id) <- true;
+  Array.iter
+    (fun parent ->
+      if not t.computed_mark.(parent) then begin
+        t.children_left.(parent) <- t.children_left.(parent) - 1;
+        if t.children_left.(parent) = 0 then add_candidate t parent
+      end)
+    t.fanout_lists.(id)
+
+let child_pending_dropped_to_one t id =
+  (* the single remaining consumer gains a releasing device *)
+  Array.iter
+    (fun parent ->
+      if (not t.computed_mark.(parent)) && t.is_candidate.(parent) then
+        Lazy_heap.insert t.heap (key t parent) parent)
+    t.fanout_lists.(id)

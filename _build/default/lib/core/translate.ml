@@ -1,0 +1,212 @@
+module Mig = Plim_mig.Mig
+module Vec = Plim_util.Vec
+module I = Plim_isa.Instruction
+
+type ctx = {
+  g : Mig.t;
+  alloc : Alloc.t;
+  cell_of : int array;
+  pending : int array;
+  pi_cell : int array;   (* PI index -> load cell, stable for the PI map *)
+  instrs : I.t Vec.t;
+  dest_min_write : bool;
+  mutable on_pending_one : int -> unit;
+}
+
+let make_ctx ?(dest_min_write = false) g alloc =
+  let n = Mig.num_nodes g in
+  let fanout = Mig.fanout_counts g in
+  let out_refs = Mig.output_refs g in
+  let pending = Array.init n (fun i -> fanout.(i) + out_refs.(i)) in
+  { g;
+    alloc;
+    cell_of = Array.make n (-1);
+    pending;
+    pi_cell = Array.make (Mig.num_inputs g) (-1);
+    instrs = Vec.create ~dummy:(I.set_const false 0) ();
+    dest_min_write;
+    on_pending_one = (fun _ -> ()) }
+
+let emit ctx instr =
+  ignore (Vec.push ctx.instrs instr);
+  Alloc.note_write ctx.alloc instr.I.z
+
+let place_inputs ctx =
+  for pi = 0 to Mig.num_inputs ctx.g - 1 do
+    let id = Mig.node_of (Mig.input_signal ctx.g pi) in
+    let cell = Alloc.request ctx.alloc in
+    ctx.cell_of.(id) <- cell;
+    ctx.pi_cell.(pi) <- cell;
+    (* an unused input still occupies a device at load time, but it can be
+       reclaimed immediately for computation *)
+    if ctx.pending.(id) = 0 then Alloc.release ctx.alloc cell
+  done
+
+(* --- helpers producing operand values ------------------------------- *)
+
+(* constant signals carry their value in the polarity bit *)
+let const_value s =
+  assert (Mig.is_const s);
+  Mig.is_complemented s
+
+let cell_of_child ctx s =
+  let c = ctx.cell_of.(Mig.node_of s) in
+  assert (c >= 0);
+  c
+
+(* cell freshly loaded with !v where the child's device holds v:
+   set tmp := 1; RM3(0, v, tmp) -> <0, !v, 1> = !v *)
+let materialize_complement ?(needed = 2) ctx s =
+  let src = cell_of_child ctx s in
+  let tmp = Alloc.request ~needed ctx.alloc in
+  emit ctx (I.set_const true tmp);
+  emit ctx (I.rm3 ~a:(I.Const false) ~b:(I.Cell src) ~z:tmp);
+  tmp
+
+(* cell freshly loaded with v: set tmp := 0; RM3(v, 0, tmp) -> <v,1,0> = v.
+   Always used as the destination of the consuming RM3, hence 3 writes. *)
+let materialize_copy ctx s =
+  let src = cell_of_child ctx s in
+  let tmp = Alloc.request ~needed:3 ctx.alloc in
+  emit ctx (I.set_const false tmp);
+  emit ctx (I.rm3 ~a:(I.Cell src) ~b:(I.Const false) ~z:tmp);
+  tmp
+
+(* --- role costs ------------------------------------------------------ *)
+
+let in_place_ok ctx s =
+  (not (Mig.is_const s))
+  && (not (Mig.is_complemented s))
+  && ctx.pending.(Mig.node_of s) = 1
+  && Alloc.can_write ctx.alloc (cell_of_child ctx s)
+
+(* extra instructions needed to use child [s] in each RM3 role *)
+let cost_p s = if Mig.is_const s then 0 else if Mig.is_complemented s then 2 else 0
+let cost_q s = if Mig.is_const s then 0 else if Mig.is_complemented s then 0 else 2
+
+let cost_z ctx s =
+  if Mig.is_const s then 1
+  else if Mig.is_complemented s then 2
+  else if in_place_ok ctx s then 0
+  else 2
+
+let permutations = [ (0, 1, 2); (0, 2, 1); (1, 0, 2); (1, 2, 0); (2, 0, 1); (2, 1, 0) ]
+
+let compute_node ctx id =
+  match Mig.kind ctx.g id with
+  | Mig.Const | Mig.Input _ ->
+    invalid_arg "Translate.compute_node: not a majority node"
+  | Mig.Maj (a, b, c) ->
+    let children = [| a; b; c |] in
+    let cost (p, q, z) =
+      cost_p children.(p) + cost_q children.(q) + cost_z ctx children.(z)
+    in
+    (* pick the cheapest role assignment; optional ablation tie-break:
+       among in-place destinations prefer the least-written device *)
+    let better (cost_x, perm_x) (cost_y, perm_y) =
+      if cost_x <> cost_y then cost_x < cost_y
+      else if not ctx.dest_min_write then false (* keep first *)
+      else begin
+        let z_writes (_, _, z) =
+          let s = children.(z) in
+          if in_place_ok ctx s then Alloc.writes_of ctx.alloc (cell_of_child ctx s)
+          else max_int
+        in
+        z_writes perm_x < z_writes perm_y
+      end
+    in
+    let best =
+      List.fold_left
+        (fun acc perm ->
+          let entry = (cost perm, perm) in
+          match acc with
+          | None -> Some entry
+          | Some current -> if better entry current then Some entry else Some current)
+        None permutations
+    in
+    let _, (pi_, qi_, zi_) =
+      match best with Some e -> e | None -> assert false
+    in
+    let sp = children.(pi_) and sq = children.(qi_) and sz = children.(zi_) in
+    let temps = ref [] in
+    (* destination first (never clobbers a child device) *)
+    let consumed_in_place = ref false in
+    let zcell =
+      if Mig.is_const sz then begin
+        let cell = Alloc.request ctx.alloc in
+        emit ctx (I.set_const (const_value sz) cell);
+        cell
+      end
+      else if Mig.is_complemented sz then materialize_complement ~needed:3 ctx sz
+      else if in_place_ok ctx sz then begin
+        consumed_in_place := true;
+        cell_of_child ctx sz
+      end
+      else materialize_copy ctx sz
+    in
+    let p_operand =
+      if Mig.is_const sp then I.Const (const_value sp)
+      else if Mig.is_complemented sp then begin
+        let tmp = materialize_complement ctx sp in
+        temps := tmp :: !temps;
+        I.Cell tmp
+      end
+      else I.Cell (cell_of_child ctx sp)
+    in
+    let q_operand =
+      if Mig.is_const sq then I.Const (not (const_value sq))
+      else if Mig.is_complemented sq then I.Cell (cell_of_child ctx sq)
+      else begin
+        let tmp = materialize_complement ctx sq in
+        temps := tmp :: !temps;
+        I.Cell tmp
+      end
+    in
+    emit ctx (I.rm3 ~a:p_operand ~b:q_operand ~z:zcell);
+    ctx.cell_of.(id) <- zcell;
+    (* temporaries are dead once the instruction has executed *)
+    List.iter (fun tmp -> Alloc.release ctx.alloc tmp) !temps;
+    (* child bookkeeping: decrement uses, free dead devices *)
+    let finish_child s =
+      let n = Mig.node_of s in
+      if n <> 0 then begin
+        ctx.pending.(n) <- ctx.pending.(n) - 1;
+        if ctx.pending.(n) = 0 then begin
+          if !consumed_in_place && n = Mig.node_of sz then
+            (* device now holds this node's value *)
+            ctx.cell_of.(n) <- -1
+          else begin
+            Alloc.release ctx.alloc ctx.cell_of.(n);
+            ctx.cell_of.(n) <- -1
+          end
+        end
+        else if ctx.pending.(n) = 1 then ctx.on_pending_one n
+      end
+    in
+    finish_child a;
+    finish_child b;
+    finish_child c
+
+let materialize_outputs ctx =
+  let complement_cache = Hashtbl.create 16 in
+  Array.map
+    (fun (name, s) ->
+      let n = Mig.node_of s in
+      if n = 0 then begin
+        let cell = Alloc.request ctx.alloc in
+        emit ctx (I.set_const (const_value s) cell);
+        (name, cell)
+      end
+      else begin
+        let c = ctx.cell_of.(n) in
+        assert (c >= 0);
+        if not (Mig.is_complemented s) then (name, c)
+        else
+          match Hashtbl.find_opt complement_cache n with
+          | Some cell -> (name, cell)
+          | None ->
+            let cell = materialize_complement ctx (Mig.signal n false) in
+            Hashtbl.replace complement_cache n cell;
+            (name, cell)
+      end)
+    (Mig.outputs ctx.g)

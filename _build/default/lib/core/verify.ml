@@ -1,0 +1,118 @@
+module Mig = Plim_mig.Mig
+module Program = Plim_isa.Program
+module Controller = Plim_machine.Plim_controller
+module Crossbar = Plim_rram.Crossbar
+module Splitmix = Plim_util.Splitmix
+
+let run_and_compare mig (program : Program.t) vector =
+  let expected = Mig.eval mig vector in
+  let inputs =
+    Array.to_list
+      (Array.mapi (fun i (name, _) -> (name, vector.(i))) program.Program.pi_cells)
+  in
+  let outputs, xbar, _ = Controller.run program ~inputs in
+  let actual = Array.of_list (List.map snd outputs) in
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "output arity mismatch: mig %d vs program %d"
+         (Array.length expected) (Array.length actual))
+  else begin
+    let mismatch = ref None in
+    Array.iteri
+      (fun i e ->
+        if !mismatch = None && e <> actual.(i) then mismatch := Some i)
+      expected;
+    match !mismatch with
+    | Some i ->
+      let name, _ = program.Program.po_cells.(i) in
+      Error
+        (Printf.sprintf "output %S differs: expected %b, machine computed %b" name
+           expected.(i) actual.(i))
+    | None -> Ok xbar
+  end
+
+let check_vector mig program vector =
+  match run_and_compare mig program vector with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let check_write_counts (program : Program.t) (xbar : Crossbar.t) =
+  let static = Program.static_write_counts program in
+  let dynamic = Crossbar.write_counts xbar in
+  if Array.length static <> Array.length dynamic then
+    Error "write-count arrays differ in length"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i s -> if !bad = None && s <> dynamic.(i) then bad := Some i)
+      static;
+    match !bad with
+    | Some i ->
+      Error
+        (Printf.sprintf "cell %d: static writes %d, dynamic writes %d" i static.(i)
+           dynamic.(i))
+    | None -> Ok ()
+  end
+
+let check_random ?(trials = 32) ?(seed = 0x5eed) mig program =
+  let rng = Splitmix.create seed in
+  let n = Mig.num_inputs mig in
+  let rec go t =
+    if t = 0 then Ok ()
+    else begin
+      let vector = Splitmix.bits rng ~width:n in
+      match run_and_compare mig program vector with
+      | Error e -> Error (Printf.sprintf "trial %d: %s" (trials - t) e)
+      | Ok xbar ->
+        (match check_write_counts program xbar with
+        | Error e -> Error e
+        | Ok () -> go (t - 1))
+    end
+  in
+  go trials
+
+let check_symbolic ?order mig (program : Program.t) =
+  let module Bdd = Plim_logic.Bdd in
+  let module Mig_bdd = Plim_mig.Mig_bdd in
+  let module I = Plim_isa.Instruction in
+  let man, expected = Mig_bdd.output_bdds ?order mig in
+  (* symbolic machine state: one BDD per cell, initially 0 (HRS) *)
+  let cells = Array.make program.Program.num_cells (Bdd.false_ man) in
+  Array.iteri
+    (fun pi (_, cell) -> cells.(cell) <- Bdd.var man pi)
+    program.Program.pi_cells;
+  let operand = function
+    | I.Const false -> Bdd.false_ man
+    | I.Const true -> Bdd.true_ man
+    | I.Cell i -> cells.(i)
+  in
+  Array.iter
+    (fun (instr : I.t) ->
+      let a = operand instr.I.a in
+      let b = operand instr.I.b in
+      let z = instr.I.z in
+      cells.(z) <- Bdd.maj man a (Bdd.not_ man b) cells.(z))
+    program.Program.instrs;
+  let mismatch = ref None in
+  Array.iteri
+    (fun i (name, cell) ->
+      if !mismatch = None && not (Bdd.equal cells.(cell) expected.(i)) then
+        mismatch := Some name)
+    program.Program.po_cells;
+  match !mismatch with
+  | Some name -> Error (Printf.sprintf "output %S differs symbolically" name)
+  | None -> Ok ()
+
+let check_exhaustive mig program =
+  let n = Mig.num_inputs mig in
+  if n > 20 then invalid_arg "Verify.check_exhaustive: too many inputs";
+  let rec go m =
+    if m >= 1 lsl n then Ok ()
+    else begin
+      let vector = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+      match run_and_compare mig program vector with
+      | Error e -> Error (Printf.sprintf "minterm %d: %s" m e)
+      | Ok _ -> go (m + 1)
+    end
+  in
+  go 0

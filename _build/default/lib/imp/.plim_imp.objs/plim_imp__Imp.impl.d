@@ -1,0 +1,1 @@
+lib/imp/imp.ml: Array Format List Plim_core Plim_mig Plim_rram Plim_util Printf String

@@ -1,0 +1,1 @@
+lib/imp/imp.mli: Format Plim_core Plim_mig Plim_rram

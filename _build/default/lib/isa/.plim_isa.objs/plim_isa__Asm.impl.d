@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Fun Instruction List Printf Program String

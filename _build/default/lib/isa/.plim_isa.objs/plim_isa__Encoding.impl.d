@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Array Format Instruction Printf Program

@@ -1,0 +1,20 @@
+(** Textual PLiM assembly, round-trippable:
+
+    {v
+    ; plim assembly
+    .cells 12
+    .in a %0
+    .in b %1
+    .out sum %7
+    RM3 %0, 1, %3
+    RM3 0, %2, %5
+    v} *)
+
+val to_string : Program.t -> string
+
+val of_string : string -> Program.t
+(** @raise Failure on malformed input (reports the line number). *)
+
+val write_file : string -> Program.t -> unit
+
+val read_file : string -> Program.t

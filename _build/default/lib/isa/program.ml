@@ -1,0 +1,45 @@
+type t = {
+  instrs : Instruction.t array;
+  num_cells : int;
+  pi_cells : (string * int) array;
+  po_cells : (string * int) array;
+}
+
+let validate t =
+  let check_cell what i =
+    if i < 0 || i >= t.num_cells then
+      invalid_arg
+        (Printf.sprintf "Program.make: %s cell %d out of range (num_cells %d)" what i
+           t.num_cells)
+  in
+  Array.iter
+    (fun (instr : Instruction.t) ->
+      (match instr.Instruction.a with
+      | Instruction.Cell i -> check_cell "operand" i
+      | Instruction.Const _ -> ());
+      (match instr.Instruction.b with
+      | Instruction.Cell i -> check_cell "operand" i
+      | Instruction.Const _ -> ());
+      check_cell "destination" instr.Instruction.z)
+    t.instrs;
+  Array.iter (fun (_, i) -> check_cell "input" i) t.pi_cells;
+  Array.iter (fun (_, i) -> check_cell "output" i) t.po_cells
+
+let make ~instrs ~num_cells ~pi_cells ~po_cells =
+  let t = { instrs; num_cells; pi_cells; po_cells } in
+  validate t;
+  t
+
+let length t = Array.length t.instrs
+
+let num_cells t = t.num_cells
+
+let static_write_counts t =
+  let counts = Array.make t.num_cells 0 in
+  Array.iter
+    (fun (instr : Instruction.t) ->
+      counts.(instr.Instruction.z) <- counts.(instr.Instruction.z) + 1)
+    t.instrs;
+  counts
+
+let iter f t = Array.iter f t.instrs

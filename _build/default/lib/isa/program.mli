@@ -1,0 +1,34 @@
+(** A compiled PLiM program: the instruction stream plus the memory map
+    binding primary inputs and outputs to cells.
+
+    [num_cells] is the paper's #R metric (number of RRAM devices used);
+    [length] is #I (number of RM3 instructions). *)
+
+type t = {
+  instrs : Instruction.t array;
+  num_cells : int;
+  pi_cells : (string * int) array;  (** input name -> cell holding it *)
+  po_cells : (string * int) array;  (** output name -> cell holding it (true phase) *)
+}
+
+val make :
+  instrs:Instruction.t array ->
+  num_cells:int ->
+  pi_cells:(string * int) array ->
+  po_cells:(string * int) array ->
+  t
+(** Validates that every referenced cell is within [0, num_cells).
+    @raise Invalid_argument otherwise. *)
+
+val length : t -> int
+(** #I: number of RM3 instructions. *)
+
+val num_cells : t -> int
+(** #R: number of RRAM devices. *)
+
+val static_write_counts : t -> int array
+(** Per-cell write counts of one execution, derived statically: each
+    instruction writes its destination exactly once.  This is the array the
+    paper's min/max/STDEV columns summarise. *)
+
+val iter : (Instruction.t -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Array Buffer Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/machine/campaign.ml: Array Plim_isa Plim_rram Plim_util

@@ -1,0 +1,1 @@
+lib/machine/campaign.mli: Plim_isa

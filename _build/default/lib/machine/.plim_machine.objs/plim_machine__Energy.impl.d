@@ -1,0 +1,1 @@
+lib/machine/energy.ml: Array Format Plim_controller Plim_rram

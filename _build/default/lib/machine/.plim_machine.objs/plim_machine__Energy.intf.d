@@ -1,0 +1,1 @@
+lib/machine/energy.mli: Format Plim_controller Plim_rram

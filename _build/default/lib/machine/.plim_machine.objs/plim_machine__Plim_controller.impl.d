@@ -1,0 +1,1 @@
+lib/machine/plim_controller.ml: Array Hashtbl List Plim_isa Plim_rram Printf String

@@ -1,0 +1,1 @@
+lib/machine/plim_controller.mli: Plim_isa Plim_rram

@@ -1,0 +1,73 @@
+module Program = Plim_isa.Program
+module I = Plim_isa.Instruction
+module Crossbar = Plim_rram.Crossbar
+module Start_gap = Plim_rram.Start_gap
+module Splitmix = Plim_util.Splitmix
+
+type outcome = {
+  executions_completed : int;
+  failed : bool;
+  write_total : int;
+}
+
+(* One execution with a logical->physical mapping sampled per access and a
+   per-logical-write notification.  Output values are not collected: the
+   campaign measures wear.  Raises [Failure] when a device dies. *)
+let execute_mapped (p : Program.t) xbar rng ~map ~on_write =
+  Array.iter
+    (fun (_, cell) -> Crossbar.load xbar (map cell) (Splitmix.bool rng))
+    p.Program.pi_cells;
+  Array.iter
+    (fun (instr : I.t) ->
+      let operand = function
+        | I.Const v -> v
+        | I.Cell c -> Crossbar.read xbar (map c)
+      in
+      let a = operand instr.I.a in
+      let b = operand instr.I.b in
+      Crossbar.rm3 xbar ~p:a ~q:b (map instr.I.z);
+      on_write instr.I.z)
+    p.Program.instrs
+
+let total_writes xbar = Array.fold_left ( + ) 0 (Crossbar.write_counts xbar)
+
+let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ~physical_cells ~map ~on_write
+    ~endurance p =
+  let xbar = Crossbar.create ~endurance physical_cells in
+  let rng = Splitmix.create seed in
+  let rec go completed =
+    if completed >= max_executions then
+      { executions_completed = completed; failed = false; write_total = total_writes xbar }
+    else
+      match execute_mapped p xbar rng ~map:(map xbar) ~on_write:(on_write xbar) with
+      | () -> go (completed + 1)
+      | exception Failure _ ->
+        { executions_completed = completed;
+          failed = true;
+          write_total = total_writes xbar }
+  in
+  go 0
+
+let run_until_failure ?seed ?max_executions ~endurance p =
+  campaign ?seed ?max_executions ~physical_cells:p.Program.num_cells
+    ~map:(fun _ cell -> cell)
+    ~on_write:(fun _ _ -> ())
+    ~endurance p
+
+let run_with_start_gap ?seed ?max_executions ?psi ~endurance p =
+  let n = p.Program.num_cells in
+  let sg = Start_gap.create ?psi n in
+  (* a gap move copies a line: one physical write, wear-accurate *)
+  let map xbar cell =
+    ignore xbar;
+    Start_gap.physical sg cell
+  in
+  let on_write xbar cell =
+    let before = Start_gap.total_moves sg in
+    let gap_target = Start_gap.gap_line sg in
+    Start_gap.write sg cell;
+    (* a move with the gap at 0 is a wrap (start advance), not a copy *)
+    if Start_gap.total_moves sg > before && gap_target > 0 then
+      Crossbar.write xbar gap_target false
+  in
+  campaign ?seed ?max_executions ~physical_cells:(n + 1) ~map ~on_write ~endurance p

@@ -1,0 +1,38 @@
+(** Empirical endurance campaigns: execute a compiled program repeatedly
+    on an endurance-limited crossbar until the first device wears out.
+
+    This closes the loop on the paper's motivation — the static
+    {!Plim_stats.Lifetime} estimate (endurance / max writes per
+    execution) is validated against an actual simulated wear-out, and
+    architectural wear levelling (Start-Gap) can be layered between
+    executions for comparison. *)
+
+module Program = Plim_isa.Program
+
+type outcome = {
+  executions_completed : int;
+  failed : bool;              (** false if [max_executions] was reached *)
+  write_total : int;          (** physical writes performed overall *)
+}
+
+val run_until_failure :
+  ?seed:int ->
+  ?max_executions:int ->
+  endurance:int ->
+  Program.t ->
+  outcome
+(** Repeated executions with fresh random inputs per run on one shared
+    crossbar whose cells hard-fail after [endurance] writes.  Stops at the
+    first failure or after [max_executions] (default 100_000). *)
+
+val run_with_start_gap :
+  ?seed:int ->
+  ?max_executions:int ->
+  ?psi:int ->
+  endurance:int ->
+  Program.t ->
+  outcome
+(** Same campaign with a Start-Gap remapping layer rotating the
+    program's device addresses between executions: logical cell [l] of
+    execution [k] lands on a rotating physical line, so hot logical cells
+    spread across the array over time. *)

@@ -1,0 +1,119 @@
+module Crossbar = Plim_rram.Crossbar
+module Program = Plim_isa.Program
+module Instruction = Plim_isa.Instruction
+
+type run_stats = {
+  instructions : int;
+  cycles : int;
+}
+
+type trace_entry = {
+  pc : int;
+  instr : Instruction.t;
+  a_value : bool;
+  b_value : bool;
+  z_before : bool;
+  z_after : bool;
+}
+
+let run ?endurance ?on_step (p : Program.t) ~inputs =
+  let xbar = Crossbar.create ?endurance p.Program.num_cells in
+  (* load primary inputs *)
+  let bound = Hashtbl.create 16 in
+  List.iter
+    (fun (name, v) ->
+      if Hashtbl.mem bound name then
+        invalid_arg (Printf.sprintf "Plim_controller.run: duplicate input %S" name);
+      Hashtbl.add bound name v)
+    inputs;
+  Array.iter
+    (fun (name, cell) ->
+      match Hashtbl.find_opt bound name with
+      | Some v ->
+        Crossbar.load xbar cell v;
+        Hashtbl.remove bound name
+      | None -> invalid_arg (Printf.sprintf "Plim_controller.run: missing input %S" name))
+    p.Program.pi_cells;
+  if Hashtbl.length bound > 0 then
+    invalid_arg "Plim_controller.run: unknown extra inputs";
+  (* controller on: execute the stream *)
+  let cycles = ref 0 in
+  let read_operand = function
+    | Instruction.Const v -> v
+    | Instruction.Cell i ->
+      incr cycles;
+      Crossbar.read xbar i
+  in
+  Array.iteri
+    (fun pc (instr : Instruction.t) ->
+      let a = read_operand instr.Instruction.a in
+      let b = read_operand instr.Instruction.b in
+      let z = instr.Instruction.z in
+      let z_before = Crossbar.read xbar z in
+      Crossbar.rm3 xbar ~p:a ~q:b z;
+      incr cycles;
+      match on_step with
+      | None -> ()
+      | Some f ->
+        f { pc; instr; a_value = a; b_value = b; z_before; z_after = Crossbar.read xbar z })
+    p.Program.instrs;
+  let outputs =
+    Array.to_list
+      (Array.map (fun (name, cell) -> (name, Crossbar.read xbar cell)) p.Program.po_cells)
+  in
+  (outputs, xbar, { instructions = Array.length p.Program.instrs; cycles = !cycles })
+
+let run_self_hosted ?endurance (p : Program.t) ~inputs =
+  let module Encoding = Plim_isa.Encoding in
+  let data_cells = p.Program.num_cells in
+  let footprint = Encoding.footprint p in
+  let per_instr = Encoding.instruction_bits ~num_cells:data_cells in
+  let xbar = Crossbar.create ?endurance footprint.Encoding.total_cells in
+  (* provision the program into the high region of the array *)
+  let program_bits = Encoding.encode_program p in
+  Array.iteri (fun i bit -> Crossbar.load xbar (data_cells + i) bit) program_bits;
+  (* load primary inputs *)
+  List.iter
+    (fun (name, v) ->
+      match Array.find_opt (fun (n, _) -> String.equal n name) p.Program.pi_cells with
+      | Some (_, cell) -> Crossbar.load xbar cell v
+      | None -> invalid_arg (Printf.sprintf "Plim_controller: unknown input %S" name))
+    inputs;
+  Array.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name inputs) then
+        invalid_arg (Printf.sprintf "Plim_controller: missing input %S" name))
+    p.Program.pi_cells;
+  let cycles = ref 0 in
+  let num_instrs = Array.length p.Program.instrs in
+  for pc = 0 to num_instrs - 1 do
+    (* fetch: read the instruction's bit cells *)
+    let base = data_cells + (pc * per_instr) in
+    let bits = Array.init per_instr (fun k -> Crossbar.read xbar (base + k)) in
+    cycles := !cycles + per_instr;
+    let instr = Encoding.decode ~num_cells:data_cells bits in
+    let read_operand = function
+      | Instruction.Const v -> v
+      | Instruction.Cell i ->
+        incr cycles;
+        Crossbar.read xbar i
+    in
+    let a = read_operand instr.Instruction.a in
+    let b = read_operand instr.Instruction.b in
+    Crossbar.rm3 xbar ~p:a ~q:b instr.Instruction.z;
+    incr cycles
+  done;
+  let outputs =
+    Array.to_list
+      (Array.map (fun (name, cell) -> (name, Crossbar.read xbar cell)) p.Program.po_cells)
+  in
+  (outputs, xbar, { instructions = num_instrs; cycles = !cycles })
+
+let run_vector ?endurance (p : Program.t) values =
+  if Array.length values <> Array.length p.Program.pi_cells then
+    invalid_arg "Plim_controller.run_vector: input arity mismatch";
+  let inputs =
+    Array.to_list (Array.mapi (fun i (name, _) -> (name, values.(i))) p.Program.pi_cells)
+  in
+  let outputs, _, _ = run ?endurance p ~inputs in
+  Array.of_list (List.map snd outputs)

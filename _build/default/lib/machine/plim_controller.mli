@@ -1,0 +1,62 @@
+(** The PLiM controller: a wrapper FSM around the RRAM array that fetches
+    RM3 instructions and executes them using the array's read/write
+    peripheral circuitry (DATE'16; paper Section III-A2).
+
+    When the control signal is off the array behaves as a plain RAM; when
+    on, the controller steps a program counter through the instruction
+    stream, reads operands A and B (from constants or cells), and performs
+    the RM3 during the write cycle of the destination cell.
+
+    The model charges one cycle per operand read from memory and one cycle
+    for the destination read-modify-write, matching the
+    fetch/decode/execute description of the original PLiM paper. *)
+
+module Crossbar = Plim_rram.Crossbar
+module Program = Plim_isa.Program
+
+type run_stats = {
+  instructions : int;   (** instructions executed *)
+  cycles : int;         (** memory-access cycles consumed *)
+}
+
+type trace_entry = {
+  pc : int;
+  instr : Plim_isa.Instruction.t;
+  a_value : bool;
+  b_value : bool;
+  z_before : bool;
+  z_after : bool;
+}
+
+val run :
+  ?endurance:int ->
+  ?on_step:(trace_entry -> unit) ->
+  Program.t ->
+  inputs:(string * bool) list ->
+  (string * bool) list * Crossbar.t * run_stats
+(** [run p ~inputs] allocates a crossbar of [Program.num_cells p] cells,
+    loads the primary inputs (uncounted initialisation writes), turns the
+    controller on, executes the whole instruction stream and reads back
+    the outputs.
+
+    @raise Invalid_argument if [inputs] does not bind exactly the
+    program's primary inputs.
+    @raise Failure if a cell hard-fails mid-run (only with [endurance]). *)
+
+val run_vector :
+  ?endurance:int -> Program.t -> bool array -> bool array
+(** Positional convenience wrapper: inputs/outputs in [pi_cells]/[po_cells]
+    declaration order. *)
+
+val run_self_hosted :
+  ?endurance:int ->
+  Program.t ->
+  inputs:(string * bool) list ->
+  (string * bool) list * Crossbar.t * run_stats
+(** Faithful to the PLiM architecture: "the controller reads the
+    instructions from the memory array".  The crossbar is sized to hold
+    both the working devices and the binary-encoded program
+    ({!Plim_isa.Encoding}); instructions are deposited as provisioning
+    loads, and each fetch reads its bit cells through the array's read
+    peripheral (counted in [cycles]).  Results are identical to {!run};
+    only the cycle count grows by the fetch traffic. *)

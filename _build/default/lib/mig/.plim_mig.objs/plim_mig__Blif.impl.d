@@ -1,0 +1,1 @@
+lib/mig/blif.ml: Array Buffer Fun Hashtbl List Mig Printf String

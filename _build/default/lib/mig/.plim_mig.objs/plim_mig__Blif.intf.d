@@ -1,0 +1,1 @@
+lib/mig/blif.mli: Mig

@@ -1,0 +1,1 @@
+lib/mig/mig.ml: Array Format Hashtbl List Plim_logic Plim_util Printf String

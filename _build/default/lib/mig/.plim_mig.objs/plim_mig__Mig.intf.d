@@ -1,0 +1,1 @@
+lib/mig/mig.mli: Format Plim_logic

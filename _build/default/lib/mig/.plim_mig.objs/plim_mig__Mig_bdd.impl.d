@@ -1,0 +1,1 @@
+lib/mig/mig_bdd.ml: Array Mig Plim_logic

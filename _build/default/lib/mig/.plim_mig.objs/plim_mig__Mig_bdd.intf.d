@@ -1,0 +1,1 @@
+lib/mig/mig_bdd.mli: Mig Plim_logic

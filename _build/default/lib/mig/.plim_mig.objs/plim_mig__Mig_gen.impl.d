@@ -1,0 +1,1 @@
+lib/mig/mig_gen.ml: Array Mig Plim_util Printf

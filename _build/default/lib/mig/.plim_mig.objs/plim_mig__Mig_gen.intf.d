@@ -1,0 +1,1 @@
+lib/mig/mig_gen.mli: Mig

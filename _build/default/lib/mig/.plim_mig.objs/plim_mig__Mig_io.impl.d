@@ -1,0 +1,1 @@
+lib/mig/mig_io.ml: Array Buffer Fun Hashtbl List Mig Printf String

@@ -1,0 +1,1 @@
+lib/mig/mig_io.mli: Mig

@@ -1,0 +1,22 @@
+(** BLIF (Berkeley Logic Interchange Format) frontend and backend.
+
+    The EPFL benchmark suite — the paper's workload — is distributed in
+    BLIF/AIGER form; this module lets real netlists flow into the PLiM
+    compiler.  Reading covers the combinational subset: [.model],
+    [.inputs], [.outputs], [.names] with SOP cubes ([0], [1], [-]
+    don't-cares), single-output-cover semantics, and line continuations
+    with [\\].  Each cube becomes an AND of literals and the cover an OR
+    of cubes — exactly the AND-inverter shape the rewriting engine
+    expects from a frontend.
+
+    Writing emits one [.names] per majority node (8-row cover), plus
+    buffers/inverters for outputs. *)
+
+val of_string : string -> Mig.t
+(** @raise Failure on malformed input (reports the line number). *)
+
+val to_string : ?model:string -> Mig.t -> string
+
+val read_file : string -> Mig.t
+
+val write_file : ?model:string -> string -> Mig.t -> unit

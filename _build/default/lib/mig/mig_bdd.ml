@@ -1,0 +1,39 @@
+module Bdd = Plim_logic.Bdd
+
+let node_bdds g man =
+  let n = Mig.num_nodes g in
+  let bdds = Array.make n (Bdd.false_ man) in
+  for pi = 0 to Mig.num_inputs g - 1 do
+    bdds.(Mig.node_of (Mig.input_signal g pi)) <- Bdd.var man pi
+  done;
+  let value s =
+    let b = bdds.(Mig.node_of s) in
+    if Mig.is_complemented s then Bdd.not_ man b else b
+  in
+  Mig.iter_reachable_maj g (fun id ->
+      match Mig.kind g id with
+      | Mig.Maj (a, b, c) -> bdds.(id) <- Bdd.maj man (value a) (value b) (value c)
+      | Mig.Const | Mig.Input _ -> assert false);
+  (bdds, value)
+
+let output_bdds ?order g =
+  let man = Bdd.manager ?order ~num_vars:(Mig.num_inputs g) () in
+  let _, value = node_bdds g man in
+  (man, Array.map (fun (_, s) -> value s) (Mig.outputs g))
+
+let equivalent ?order g1 g2 =
+  if Mig.num_inputs g1 <> Mig.num_inputs g2 then
+    invalid_arg "Mig_bdd.equivalent: input arity mismatch";
+  if Mig.num_outputs g1 <> Mig.num_outputs g2 then
+    invalid_arg "Mig_bdd.equivalent: output arity mismatch";
+  let man = Bdd.manager ?order ~num_vars:(Mig.num_inputs g1) () in
+  let _, v1 = node_bdds g1 man in
+  let _, v2 = node_bdds g2 man in
+  let o1 = Mig.outputs g1 and o2 = Mig.outputs g2 in
+  let ok = ref true in
+  Array.iteri
+    (fun i (_, s1) ->
+      let _, s2 = o2.(i) in
+      if not (Bdd.equal (v1 s1) (v2 s2)) then ok := false)
+    o1;
+  !ok

@@ -1,0 +1,15 @@
+(** MIG-to-BDD conversion for formal equivalence checking.
+
+    Where truth tables stop at 16 inputs, BDDs handle the wide but
+    well-ordered circuits of the suite (adders, shifters, comparators)
+    exactly. *)
+
+module Bdd = Plim_logic.Bdd
+
+val output_bdds : ?order:int array -> Mig.t -> Bdd.man * Bdd.t array
+(** One BDD per primary output, under the given variable order
+    (PI index -> decision level; identity by default). *)
+
+val equivalent : ?order:int array -> Mig.t -> Mig.t -> bool
+(** Formal equivalence of two MIGs over the same inputs/outputs (by
+    position).  @raise Invalid_argument on interface mismatch. *)

@@ -1,0 +1,1 @@
+lib/rewrite/axioms.ml: Array List Plim_mig

@@ -1,0 +1,1 @@
+lib/rewrite/axioms.mli: Plim_mig

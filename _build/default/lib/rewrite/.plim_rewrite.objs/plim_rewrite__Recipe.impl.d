@@ -1,0 +1,1 @@
+lib/rewrite/recipe.ml: Array Axioms Format Plim_mig

@@ -1,0 +1,1 @@
+lib/rewrite/recipe.mli: Axioms Format Plim_mig

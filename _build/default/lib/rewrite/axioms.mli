@@ -1,0 +1,49 @@
+(** The MIG Boolean algebra used by the PLiM compilers.
+
+    Each axiom is packaged as a local rewriting [rule] applied while a
+    graph is rebuilt bottom-up: the rule sees the (already remapped)
+    children of the majority node under reconstruction, plus each child's
+    fanout count in the old graph (a death prediction used to avoid
+    size-increasing applications), and either produces a replacement signal
+    or declines.
+
+    The trivial-majority axiom Ω.M is not a rule here: it is applied
+    unconditionally by {!Mig.maj}. *)
+
+module Mig = Plim_mig.Mig
+
+type operand = {
+  s : Mig.signal;       (** remapped child in the new graph *)
+  old_fanout : int;     (** fanout (incl. PO refs) of the child in the old graph *)
+}
+
+type rule = Mig.t -> operand -> operand -> operand -> Mig.signal option
+
+val distributivity_rl : rule
+(** Ω.D right-to-left: [<<xyu><xyv>z> = <xy<uvz>>].  Applies when the two
+    inner nodes will die (old fanout 1) or when the replacement inner node
+    is free (Ω.M reduction or already strashed), so it never grows the
+    graph. *)
+
+val associativity : rule
+(** Ω.A: [<xu<yuz>> = <zu<yux>>], committed only when the swapped inner
+    node is free — Ω.A by itself does not reduce size, it reshapes the
+    graph to expose sharing and further Ω.M reductions. *)
+
+val complementary_associativity : rule
+(** Ψ.C: if the inner node contains the complement of one outer child,
+    replace that occurrence by the other outer child
+    ([<xu<y!uz>> = <xu<yxz>>] and [<xu<y!xz>> = <xu<yuz>>]).  Removes a
+    complemented edge; committed when free or when the inner node dies. *)
+
+val inverter_propagation : rule
+(** Ω.I right-to-left, transformations (1)-(3) of DATE'16:
+    a node with two or three complemented non-constant children is
+    replaced by its all-flipped dual with a complemented output, leaving
+    at most one complemented child. *)
+
+val apply_first : rule list -> Mig.t -> operand -> operand -> operand -> Mig.signal
+(** Try rules in order; fall back to [Mig.maj]. *)
+
+val complemented_children : Mig.t -> Mig.signal -> Mig.signal -> Mig.signal -> int
+(** Number of complemented non-constant children — the RM3 cost driver. *)

@@ -1,0 +1,30 @@
+(** MIG rewriting recipes.
+
+    [algorithm1] is the rewriting loop of the original PLiM compiler
+    (Soeken et al., DAC'16 [21], reproduced as Algorithm 1 in the paper);
+    [algorithm2] is the endurance-aware variant proposed by the paper
+    (Algorithm 2): Ψ.C is dropped (it removes single complemented edges,
+    which are *ideal* for RM3) and Ω.A is sandwiched between inverter-
+    propagation passes to maximise the number of nodes with exactly one
+    inverted child. *)
+
+module Mig = Plim_mig.Mig
+
+type pass = Axioms.rule list
+
+val run_pass : Mig.t -> pass -> Mig.t
+(** One bottom-up rebuild applying the first matching rule per node
+    (Ω.M always applies through the hash-consed constructor). *)
+
+type recipe = No_rewriting | Algorithm1 | Algorithm2
+
+val pp_recipe : Format.formatter -> recipe -> unit
+val recipe_name : recipe -> string
+
+val run : recipe -> effort:int -> Mig.t -> Mig.t
+(** [run recipe ~effort g] applies [effort] cycles of the recipe
+    (the paper uses effort = 5) and returns a cleaned-up graph.
+    [No_rewriting] returns a cleanup copy (the naive flow). *)
+
+val algorithm1 : effort:int -> Mig.t -> Mig.t
+val algorithm2 : effort:int -> Mig.t -> Mig.t

@@ -1,0 +1,1 @@
+lib/rram/crossbar.ml: Array Bytes Printf

@@ -1,0 +1,1 @@
+lib/rram/start_gap.mli:

@@ -1,0 +1,78 @@
+type t = {
+  state : Bytes.t;                 (* 1 = LRS/logic 1 *)
+  writes : int array;
+  transitions : int array;
+  failed : Bytes.t;
+  endurance : int option;
+}
+
+let create ?endurance n =
+  if n < 0 then invalid_arg "Crossbar.create: negative size";
+  { state = Bytes.make n '\000';
+    writes = Array.make n 0;
+    transitions = Array.make n 0;
+    failed = Bytes.make n '\000';
+    endurance }
+
+let size t = Array.length t.writes
+
+let check t i =
+  if i < 0 || i >= size t then
+    invalid_arg (Printf.sprintf "Crossbar: cell %d out of range (size %d)" i (size t))
+
+let read t i =
+  check t i;
+  Bytes.get t.state i <> '\000'
+
+let failed t i =
+  check t i;
+  Bytes.get t.failed i <> '\000'
+
+let set_state t i b = Bytes.set t.state i (if b then '\001' else '\000')
+
+let apply_write t i b =
+  check t i;
+  if Bytes.get t.failed i <> '\000' then
+    failwith (Printf.sprintf "Crossbar: write to failed cell %d" i);
+  t.writes.(i) <- t.writes.(i) + 1;
+  if read t i <> b then t.transitions.(i) <- t.transitions.(i) + 1;
+  set_state t i b;
+  match t.endurance with
+  | Some budget when t.writes.(i) >= budget -> Bytes.set t.failed i '\001'
+  | Some _ | None -> ()
+
+let write t i b = apply_write t i b
+
+let rm3 t ~p ~q i =
+  check t i;
+  let z = read t i in
+  let nq = not q in
+  let result = (p && nq) || (p && z) || (nq && z) in
+  apply_write t i result
+
+let load t i b =
+  check t i;
+  if Bytes.get t.failed i <> '\000' then
+    failwith (Printf.sprintf "Crossbar: load to failed cell %d" i);
+  set_state t i b
+
+let writes t i =
+  check t i;
+  t.writes.(i)
+
+let write_counts t = Array.copy t.writes
+
+let transitions t i =
+  check t i;
+  t.transitions.(i)
+
+let transition_counts t = Array.copy t.transitions
+
+let num_failed t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.failed;
+  !n
+
+let reset_counters t =
+  Array.fill t.writes 0 (size t) 0;
+  Array.fill t.transitions 0 (size t) 0

@@ -1,0 +1,46 @@
+(** Behavioural model of an RRAM crossbar of bipolar resistive switches
+    (BRS), the memory substrate of the PLiM computer (Gaillardon et al.,
+    DATE'16).
+
+    Each cell stores one bit as its resistance state (LRS = logic 1,
+    HRS = logic 0).  The model tracks per-cell write counts — the metric
+    the paper's endurance-management techniques balance — and an optional
+    endurance budget after which a cell hard-fails (stuck at its last
+    value).
+
+    Two write-counting conventions are exposed:
+    - [writes]: every write *operation* applied to the cell (the paper's
+      metric: each executed RM3 instruction writes its destination once);
+    - [transitions]: writes that actually toggled the resistance state,
+      for device-physics-oriented ablations. *)
+
+type t
+
+val create : ?endurance:int -> int -> t
+(** [create ?endurance n] is an array of [n] fresh cells in HRS (0). *)
+
+val size : t -> int
+
+val read : t -> int -> bool
+
+val write : t -> int -> bool -> unit
+(** Plain memory write (controller off).  Counts one write.
+    @raise Failure if the cell has hard-failed. *)
+
+val rm3 : t -> p:bool -> q:bool -> int -> unit
+(** The intrinsic resistive-majority operation executed during a write
+    cycle: [Z <- <P, !Q, Z>] where [Z] is the addressed cell's current
+    state.  Counts one write on the cell. *)
+
+val load : t -> int -> bool -> unit
+(** Initialisation write used to deposit primary inputs before the
+    computation starts; does not count toward write statistics (the paper
+    measures computation writes only). *)
+
+val writes : t -> int -> int
+val write_counts : t -> int array
+val transitions : t -> int -> int
+val transition_counts : t -> int array
+val failed : t -> int -> bool
+val num_failed : t -> int
+val reset_counters : t -> unit

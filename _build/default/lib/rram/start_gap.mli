@@ -1,0 +1,44 @@
+(** Start-Gap wear levelling (Qureshi et al., MICRO'09) — the
+    architecture-level write-balancing alternative cited by the paper
+    ([8]) for PCM/RRAM main memories.
+
+    [n] logical lines are spread over [n + 1] physical lines through two
+    registers: [start] and the position of the spare {e gap} line.  Every
+    [psi] logical writes the gap moves down by one (one extra physical
+    copy write); once it wraps, [start] advances, slowly rotating the
+    whole address space.
+
+    Used in the benches to contrast architectural rotation against the
+    paper's compiler-level endurance management: rotation balances wear
+    {e across many executions} at the cost of [1/psi] write overhead,
+    whereas the endurance-aware compiler balances a {e single} program. *)
+
+type t
+
+val create : ?psi:int -> int -> t
+(** [create ?psi n] for [n] logical lines; gap moves every [psi] (default
+    100) writes. *)
+
+val num_physical : t -> int
+(** [n + 1]. *)
+
+val physical : t -> int -> int
+(** Current physical line of a logical address. *)
+
+val write : t -> int -> unit
+(** Record one write to a logical address (moves the gap when due). *)
+
+val physical_write_counts : t -> int array
+(** Per-physical-line write counts, including gap-movement copies. *)
+
+val total_moves : t -> int
+(** Number of gap movements performed so far. *)
+
+val gap_line : t -> int
+(** Current physical position of the spare line. *)
+
+val replay : ?psi:int -> executions:int -> int array -> int array
+(** [replay ~executions per_exec_writes] simulates [executions] runs of a
+    program whose per-logical-cell write counts are [per_exec_writes]
+    (writes within one execution are interleaved round-robin, which is the
+    favourable case for rotation) and returns per-physical-line counts. *)

@@ -1,0 +1,1 @@
+lib/stats/lifetime.ml: Format Stats

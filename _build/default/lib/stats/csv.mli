@@ -1,0 +1,12 @@
+(** Minimal RFC-4180-style CSV writer used by the bench harness to export
+    the reproduced tables for external plotting. *)
+
+val escape : string -> string
+(** Quotes fields containing commas, quotes or newlines. *)
+
+val row : string list -> string
+(** One line, no trailing newline. *)
+
+val table : header:string list -> string list list -> string
+
+val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,26 @@
+type t = {
+  executions_to_first_failure : float;
+  ideal_executions : float;
+  balance_efficiency : float;
+}
+
+let estimate ~endurance writes =
+  if endurance <= 0.0 then invalid_arg "Lifetime.estimate: endurance must be positive";
+  let s = Stats.summarize writes in
+  if s.Stats.max = 0 then
+    { executions_to_first_failure = infinity;
+      ideal_executions = infinity;
+      balance_efficiency = 1.0 }
+  else begin
+    let first_failure = endurance /. float_of_int s.Stats.max in
+    let ideal =
+      endurance *. float_of_int s.Stats.count /. float_of_int s.Stats.total
+    in
+    { executions_to_first_failure = first_failure;
+      ideal_executions = ideal;
+      balance_efficiency = first_failure /. ideal }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "first-failure=%.3e ideal=%.3e efficiency=%.3f"
+    t.executions_to_first_failure t.ideal_executions t.balance_efficiency

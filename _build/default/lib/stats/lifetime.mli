@@ -1,0 +1,23 @@
+(** Lifetime estimation for an RRAM array under repeated execution of one
+    compiled PLiM program.
+
+    RRAM endurance is 1e10..1e11 writes per cell (paper, Section I).  A
+    program that writes cell [i] [w_i] times per execution can run at most
+    [endurance / max_i w_i] times before the most-stressed cell wears out.
+    Balancing writes raises that bound toward the ideal
+    [endurance * count / total_writes]. *)
+
+type t = {
+  executions_to_first_failure : float;
+      (** [endurance / max_writes]; infinite when no cell is ever written. *)
+  ideal_executions : float;
+      (** perfectly-balanced bound: [endurance * cells / total_writes]. *)
+  balance_efficiency : float;
+      (** ratio of the two above, in (0, 1]; 1 = perfectly level wear. *)
+}
+
+val estimate : endurance:float -> int array -> t
+(** [estimate ~endurance writes] from per-cell write counts of one
+    execution. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type summary = {
+  count : int;
+  min : int;
+  max : int;
+  total : int;
+  mean : float;
+  stdev : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stdev xs =
+  let n = Array.length xs in
+  if n <= 1 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let mn = ref xs.(0) and mx = ref xs.(0) and total = ref 0 in
+  Array.iter
+    (fun x ->
+      if x < !mn then mn := x;
+      if x > !mx then mx := x;
+      total := !total + x)
+    xs;
+  let floats = Array.map float_of_int xs in
+  { count = n;
+    min = !mn;
+    max = !mx;
+    total = !total;
+    mean = mean floats;
+    stdev = stdev floats }
+
+let improvement_pct ~baseline v =
+  if baseline = 0.0 then 0.0 else (baseline -. v) /. baseline *. 100.0
+
+let quantile q xs =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let histogram ~bucket xs =
+  if bucket <= 0 then invalid_arg "Stats.histogram: bucket must be positive";
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      let b = (x / bucket) * bucket in
+      Hashtbl.replace tbl b (1 + (try Hashtbl.find tbl b with Not_found -> 0)))
+    xs;
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let gini xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.map float_of_int xs in
+    Array.sort compare sorted;
+    let total = Array.fold_left ( +. ) 0.0 sorted in
+    if total = 0.0 then 0.0
+    else begin
+      let weighted = ref 0.0 in
+      Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) sorted;
+      let nf = float_of_int n in
+      ((2.0 *. !weighted) /. (nf *. total)) -. ((nf +. 1.0) /. nf)
+    end
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf "cells=%d min=%d max=%d total=%d mean=%.2f stdev=%.2f"
+    s.count s.min s.max s.total s.mean s.stdev

@@ -1,0 +1,42 @@
+(** Descriptive statistics over per-cell write counts.
+
+    The paper reports the minimum, maximum and (population) standard
+    deviation of the number of writes performed on each RRAM device of a
+    compiled PLiM program (Tables I and III), and relative improvements of
+    the standard deviation against a naive baseline. *)
+
+type summary = {
+  count : int;          (** number of cells *)
+  min : int;
+  max : int;
+  total : int;          (** sum of all write counts *)
+  mean : float;
+  stdev : float;        (** population standard deviation *)
+}
+
+val summarize : int array -> summary
+(** @raise Invalid_argument on an empty array. *)
+
+val mean : float array -> float
+
+val stdev : float array -> float
+(** Population standard deviation; 0 for arrays of length <= 1. *)
+
+val improvement_pct : baseline:float -> float -> float
+(** [improvement_pct ~baseline v] is the paper's "impr." column:
+    [(baseline - v) / baseline * 100].  Negative when [v] is worse.
+    Returns 0 when [baseline] is 0. *)
+
+val quantile : float -> int array -> int
+(** [quantile q xs] with [q] in [0,1]; nearest-rank on a sorted copy. *)
+
+val histogram : bucket:int -> int array -> (int * int) list
+(** [histogram ~bucket xs] buckets values into ranges of width [bucket] and
+    returns [(bucket_start, count)] pairs for non-empty buckets, sorted. *)
+
+val gini : int array -> float
+(** Gini coefficient of the write distribution: 0 = perfectly balanced,
+    -> 1 = concentrated on few cells.  A secondary balance metric used in
+    the ablation benches. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/util/lazy_heap.mli:

@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 from Steele, Lea & Flood, "Fast splittable pseudorandom
+   number generators", OOPSLA'14. *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* keep 62 bits so the conversion to OCaml's 63-bit int stays non-negative *)
+  let x = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let bits t ~width = Array.init width (fun _ -> bool t)

@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Array Float List Plim_benchgen Plim_logic Plim_mig Plim_util Printf QCheck QCheck_alcotest

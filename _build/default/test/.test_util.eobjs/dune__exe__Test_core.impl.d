@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Plim_benchgen Plim_core Plim_isa Plim_logic Plim_mig Plim_stats Printf QCheck QCheck_alcotest

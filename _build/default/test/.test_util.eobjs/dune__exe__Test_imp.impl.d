@@ -1,0 +1,1 @@
+test/test_imp.ml: Alcotest Array List Plim_benchgen Plim_core Plim_imp Plim_isa Plim_mig Plim_rram Plim_stats Printf QCheck QCheck_alcotest

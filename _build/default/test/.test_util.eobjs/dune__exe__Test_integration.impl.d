@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Plim_benchgen Plim_core Plim_isa Plim_machine Plim_mig Plim_rewrite Plim_rram Plim_stats Printf

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array List Plim_isa Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array List Plim_logic Plim_mig Printf QCheck QCheck_alcotest

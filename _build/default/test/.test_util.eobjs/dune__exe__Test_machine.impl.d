@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array List Plim_benchgen Plim_core Plim_isa Plim_machine Plim_rram Plim_util Printf

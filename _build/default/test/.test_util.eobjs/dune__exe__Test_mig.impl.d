@@ -1,0 +1,1 @@
+test/test_mig.ml: Alcotest Array Plim_benchgen Plim_logic Plim_mig QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Hashtbl List Plim_benchgen Plim_core Plim_isa Plim_stats Printf

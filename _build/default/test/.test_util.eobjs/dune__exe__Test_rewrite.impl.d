@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Plim_benchgen Plim_logic Plim_mig Plim_rewrite Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rram.ml: Alcotest Array List Plim_isa Plim_rram Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Hashtbl List Plim_stats Plim_util QCheck QCheck_alcotest

@@ -1,0 +1,181 @@
+module Mig = Plim_mig.Mig
+module Mig_gen = Plim_mig.Mig_gen
+module Imp = Plim_imp.Imp
+module Start_gap = Plim_rram.Start_gap
+module Alloc = Plim_core.Alloc
+module Stats = Plim_stats.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- IMPLY compiler -------------------------------------------------- *)
+
+let test_imp_gates () =
+  (* AND / OR / NOT / MAJ through the IMP flow, exhaustively *)
+  let g = Mig.create () in
+  let a = Mig.add_input g "a" in
+  let b = Mig.add_input g "b" in
+  let c = Mig.add_input g "c" in
+  Mig.add_output g "and" (Mig.and_ g a b);
+  Mig.add_output g "or" (Mig.or_ g a b);
+  Mig.add_output g "not" (Mig.not_ a);
+  Mig.add_output g "maj" (Mig.maj g a b c);
+  let p = Imp.compile g in
+  for m = 0 to 7 do
+    let va = m land 1 = 1 and vb = m land 2 = 2 and vc = m land 4 = 4 in
+    let outputs, _ = Imp.run p ~inputs:[ ("a", va); ("b", vb); ("c", vc) ] in
+    check_bool "and" (va && vb) (List.assoc "and" outputs);
+    check_bool "or" (va || vb) (List.assoc "or" outputs);
+    check_bool "not" (not va) (List.assoc "not" outputs);
+    check_bool "maj" ((va && vb) || (va && vc) || (vb && vc)) (List.assoc "maj" outputs)
+  done
+
+let test_imp_nand_cost () =
+  (* the canonical NAND: two devices beyond the inputs, three steps
+     (Section II: "implemented with two resistive switches and ... three
+     computational steps") — our AND = NAND + phase bookkeeping, so a
+     single AND output costs 3 instructions + 2 for the final inversion *)
+  let g = Mig.create () in
+  let a = Mig.add_input g "a" in
+  let b = Mig.add_input g "b" in
+  Mig.add_output g "nand" (Mig.not_ (Mig.and_ g a b));
+  let p = Imp.compile g in
+  check_int "three steps" 3 (Imp.length p);
+  check_int "two inputs + one work device" 3 (Imp.num_cells p)
+
+let test_imp_const_outputs () =
+  let g = Mig.create () in
+  let _ = Mig.add_input g "a" in
+  Mig.add_output g "zero" Mig.false_;
+  Mig.add_output g "one" Mig.true_;
+  let p = Imp.compile g in
+  let outputs, _ = Imp.run p ~inputs:[ ("a", true) ] in
+  check_bool "const 0" false (List.assoc "zero" outputs);
+  check_bool "const 1" true (List.assoc "one" outputs)
+
+let imp_correct =
+  QCheck.Test.make ~count:40 ~name:"IMP compilation is functionally correct"
+    QCheck.small_int
+    (fun seed ->
+      let g = Mig_gen.random ~seed ~num_inputs:6 ~num_nodes:50 ~num_outputs:4 () in
+      match Imp.check_random ~trials:6 ~seed g (Imp.compile g) with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%s" e)
+
+let imp_min_write_correct =
+  QCheck.Test.make ~count:25 ~name:"IMP + min-write allocation stays correct"
+    QCheck.small_int
+    (fun seed ->
+      let g = Mig_gen.random ~seed ~num_inputs:5 ~num_nodes:40 ~num_outputs:3 () in
+      match
+        Imp.check_random ~trials:6 ~seed g (Imp.compile ~strategy:Alloc.Min_write g)
+      with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%s" e)
+
+(* Section II's argument, quantitatively: on the same function, RM3
+   compilation uses fewer instructions and balances writes better *)
+let test_imp_vs_rm3 () =
+  let g = Plim_benchgen.Arith.adder ~width:8 in
+  let imp = Imp.compile g in
+  let rm3 = (Plim_core.Pipeline.compile Plim_core.Pipeline.min_write g).Plim_core.Pipeline.program in
+  let imp_stats = Stats.summarize (Imp.static_write_counts imp) in
+  let rm3_stats = Stats.summarize (Plim_isa.Program.static_write_counts rm3) in
+  check_bool "RM3 needs fewer instructions" true
+    (Plim_isa.Program.length rm3 < Imp.length imp);
+  check_bool "RM3 balances writes better" true
+    (rm3_stats.Stats.stdev < imp_stats.Stats.stdev);
+  check_bool "IMP concentrates on work devices" true
+    (imp_stats.Stats.max > rm3_stats.Stats.max)
+
+let test_imp_write_accounting () =
+  let g = Plim_benchgen.Arith.adder ~width:4 in
+  let p = Imp.compile g in
+  let inputs =
+    Array.to_list (Array.map (fun (n, _) -> (n, true)) p.Imp.pi_cells)
+  in
+  let _, xbar = Imp.run p ~inputs in
+  Alcotest.(check (array int)) "dynamic = static" (Imp.static_write_counts p)
+    (Plim_rram.Crossbar.write_counts xbar)
+
+(* --- start-gap wear levelling ------------------------------------------ *)
+
+let test_start_gap_mapping () =
+  let t = Start_gap.create ~psi:10 4 in
+  check_int "physical lines" 5 (Start_gap.num_physical t);
+  (* initially the identity (gap at the end) *)
+  for la = 0 to 3 do
+    check_int "identity map" la (Start_gap.physical t la)
+  done;
+  (* the mapping is always a bijection *)
+  for _ = 1 to 97 do
+    Start_gap.write t 1
+  done;
+  let seen = Array.make 5 false in
+  for la = 0 to 3 do
+    let pa = Start_gap.physical t la in
+    check_bool "in range" true (pa >= 0 && pa < 5);
+    check_bool "no collision" false seen.(pa);
+    seen.(pa) <- true
+  done
+
+let test_start_gap_moves () =
+  let t = Start_gap.create ~psi:5 4 in
+  for _ = 1 to 25 do
+    Start_gap.write t 0
+  done;
+  check_int "one move per psi writes" 5 (Start_gap.total_moves t)
+
+let test_start_gap_rotation_levels_hot_line () =
+  (* one scorching logical line; rotation spreads it over all physical
+     lines given enough executions *)
+  let per_exec = [| 100; 1; 1; 1 |] in
+  let counts = Start_gap.replay ~psi:10 ~executions:50 per_exec in
+  let s = Stats.summarize counts in
+  let unlevelled = Stats.summarize (Array.map (( * ) 50) per_exec) in
+  check_bool
+    (Printf.sprintf "rotated stdev %.1f < static stdev %.1f" s.Stats.stdev
+       unlevelled.Stats.stdev)
+    true
+    (s.Stats.stdev < unlevelled.Stats.stdev)
+
+let test_start_gap_write_conservation () =
+  let per_exec = [| 3; 0; 7; 2 |] in
+  let executions = 9 in
+  let counts = Start_gap.replay ~psi:4 ~executions per_exec in
+  let logical_total = executions * Array.fold_left ( + ) 0 per_exec in
+  let physical_total = Array.fold_left ( + ) 0 counts in
+  (* extra writes are exactly the gap-copy moves *)
+  check_bool "rotation overhead bounded by 1/psi + wraps" true
+    (physical_total >= logical_total
+    && physical_total <= logical_total + (logical_total / 4) + 1)
+
+let test_start_gap_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Start_gap.create: need at least one line")
+    (fun () -> ignore (Start_gap.create 0));
+  Alcotest.check_raises "bad psi" (Invalid_argument "Start_gap.create: psi must be positive")
+    (fun () -> ignore (Start_gap.create ~psi:0 4));
+  let t = Start_gap.create 4 in
+  Alcotest.check_raises "address range"
+    (Invalid_argument "Start_gap.physical: address out of range") (fun () ->
+      ignore (Start_gap.physical t 4))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "imp"
+    [ ( "imply-compiler",
+        [ Alcotest.test_case "gates (exhaustive)" `Quick test_imp_gates;
+          Alcotest.test_case "NAND cost model" `Quick test_imp_nand_cost;
+          Alcotest.test_case "constant outputs" `Quick test_imp_const_outputs;
+          Alcotest.test_case "IMP vs RM3 (Section II)" `Quick test_imp_vs_rm3;
+          Alcotest.test_case "write accounting" `Quick test_imp_write_accounting;
+          qc imp_correct;
+          qc imp_min_write_correct ] );
+      ( "start-gap",
+        [ Alcotest.test_case "mapping is a bijection" `Quick test_start_gap_mapping;
+          Alcotest.test_case "gap movement cadence" `Quick test_start_gap_moves;
+          Alcotest.test_case "rotation levels a hot line" `Quick
+            test_start_gap_rotation_levels_hot_line;
+          Alcotest.test_case "write conservation" `Quick test_start_gap_write_conservation;
+          Alcotest.test_case "validation" `Quick test_start_gap_validation ] ) ]

@@ -1,0 +1,187 @@
+module I = Plim_isa.Instruction
+module Program = Plim_isa.Program
+module Asm = Plim_isa.Asm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- instruction -------------------------------------------------------- *)
+
+let test_semantics_table () =
+  (* Z <- <A, !B, Z> *)
+  let cases =
+    [ (false, false, false, false);
+      (true, false, false, true);    (* <1,1,0> = 1 *)
+      (false, true, false, false);
+      (false, false, true, true);    (* <0,1,1> = 1 *)
+      (true, true, false, false);    (* <1,0,0> = 0 *)
+      (true, false, true, true);
+      (false, true, true, false);    (* <0,0,1> = 0 *)
+      (true, true, true, true) ]
+  in
+  List.iter
+    (fun (a, b, z, want) ->
+      check_bool (Printf.sprintf "a=%b b=%b z=%b" a b z) want (I.semantics ~a ~b ~z))
+    cases
+
+let test_set_const () =
+  List.iter
+    (fun z0 ->
+      check_bool "set 1 from any state" true
+        (let i = I.set_const true 0 in
+         match (i.I.a, i.I.b) with
+         | I.Const a, I.Const b -> I.semantics ~a ~b ~z:z0 = true
+         | _ -> false);
+      check_bool "set 0 from any state" true
+        (let i = I.set_const false 0 in
+         match (i.I.a, i.I.b) with
+         | I.Const a, I.Const b -> I.semantics ~a ~b ~z:z0 = false
+         | _ -> false))
+    [ false; true ]
+
+let test_validation () =
+  Alcotest.check_raises "negative dest" (Invalid_argument "Instruction.rm3: negative destination")
+    (fun () -> ignore (I.rm3 ~a:(I.Const true) ~b:(I.Const false) ~z:(-1)));
+  Alcotest.check_raises "negative operand"
+    (Invalid_argument "Instruction.rm3: negative operand cell") (fun () ->
+      ignore (I.rm3 ~a:(I.Cell (-2)) ~b:(I.Const false) ~z:0))
+
+let test_printing () =
+  Alcotest.(check string) "pp" "RM3 %3, 1, %7"
+    (I.to_string (I.rm3 ~a:(I.Cell 3) ~b:(I.Const true) ~z:7))
+
+(* --- program ------------------------------------------------------------- *)
+
+let sample_program () =
+  Program.make
+    ~instrs:
+      [| I.set_const true 2;
+         I.rm3 ~a:(I.Cell 0) ~b:(I.Cell 1) ~z:2;
+         I.rm3 ~a:(I.Const false) ~b:(I.Cell 2) ~z:3 |]
+    ~num_cells:4
+    ~pi_cells:[| ("a", 0); ("b", 1) |]
+    ~po_cells:[| ("y", 3) |]
+
+let test_program_stats () =
+  let p = sample_program () in
+  check_int "#I" 3 (Program.length p);
+  check_int "#R" 4 (Program.num_cells p);
+  Alcotest.(check (array int)) "static writes" [| 0; 0; 2; 1 |] (Program.static_write_counts p)
+
+let test_program_validation () =
+  Alcotest.check_raises "dest out of range"
+    (Invalid_argument "Program.make: destination cell 9 out of range (num_cells 2)")
+    (fun () ->
+      ignore
+        (Program.make
+           ~instrs:[| I.set_const true 9 |]
+           ~num_cells:2 ~pi_cells:[||] ~po_cells:[||]));
+  Alcotest.check_raises "input out of range"
+    (Invalid_argument "Program.make: input cell 5 out of range (num_cells 2)") (fun () ->
+      ignore (Program.make ~instrs:[||] ~num_cells:2 ~pi_cells:[| ("a", 5) |] ~po_cells:[||]))
+
+(* --- assembly ------------------------------------------------------------- *)
+
+let program_equal (p : Program.t) (q : Program.t) =
+  p.Program.instrs = q.Program.instrs
+  && p.Program.num_cells = q.Program.num_cells
+  && p.Program.pi_cells = q.Program.pi_cells
+  && p.Program.po_cells = q.Program.po_cells
+
+let test_asm_roundtrip () =
+  let p = sample_program () in
+  check_bool "roundtrip" true (program_equal p (Asm.of_string (Asm.to_string p)))
+
+let test_asm_parsing () =
+  let text = "; comment line\n.cells 3\n.in a %0\n.out y %2\nRM3 %0, 1, %2 ; trailing\n\n" in
+  let p = Asm.of_string text in
+  check_int "#I" 1 (Program.length p);
+  check_int "cells" 3 (Program.num_cells p);
+  Alcotest.(check (array (pair string int))) "pi" [| ("a", 0) |] p.Program.pi_cells
+
+let test_asm_errors () =
+  Alcotest.check_raises "missing cells" (Failure "Asm.of_string: missing .cells directive")
+    (fun () -> ignore (Asm.of_string "RM3 0, 1, %0"));
+  Alcotest.check_raises "bad operand" (Failure "Asm.of_string: line 2: bad operand \"x\"")
+    (fun () -> ignore (Asm.of_string ".cells 1\nRM3 x, 1, %0"));
+  Alcotest.check_raises "const dest" (Failure "Asm.of_string: line 2: expected a cell reference")
+    (fun () -> ignore (Asm.of_string ".cells 1\nRM3 0, 1, 1"))
+
+let asm_roundtrip_random =
+  QCheck.Test.make ~count:100 ~name:"assembly roundtrip on random programs"
+    QCheck.(list (triple (int_range 0 9) (int_range 0 9) (int_range 0 9)))
+    (fun triples ->
+      let operand i = if i = 0 then I.Const false else if i = 1 then I.Const true else I.Cell i in
+      let instrs =
+        List.map (fun (a, b, z) -> I.rm3 ~a:(operand a) ~b:(operand b) ~z) triples
+        |> Array.of_list
+      in
+      let p =
+        Program.make ~instrs ~num_cells:10 ~pi_cells:[| ("in0", 0) |]
+          ~po_cells:[| ("out0", 9) |]
+      in
+      program_equal p (Asm.of_string (Asm.to_string p)))
+
+(* --- binary encoding -------------------------------------------------------- *)
+
+module Encoding = Plim_isa.Encoding
+
+let test_encoding_widths () =
+  check_int "1 cell" 1 (Encoding.address_bits ~num_cells:1);
+  check_int "2 cells" 1 (Encoding.address_bits ~num_cells:2);
+  check_int "3 cells" 2 (Encoding.address_bits ~num_cells:3);
+  check_int "256 cells" 8 (Encoding.address_bits ~num_cells:256);
+  check_int "257 cells" 9 (Encoding.address_bits ~num_cells:257);
+  (* instruction = 2 tagged operands + destination address *)
+  check_int "instruction bits" ((2 * 9) + 8) (Encoding.instruction_bits ~num_cells:256)
+
+let encode_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"instruction encode/decode roundtrip"
+    QCheck.(triple (int_range 0 11) (int_range 0 11) (int_range 0 9))
+    (fun (a, b, z) ->
+      let operand i =
+        if i = 10 then I.Const false else if i = 11 then I.Const true else I.Cell i
+      in
+      let instr = I.rm3 ~a:(operand a) ~b:(operand b) ~z in
+      let bits = Encoding.encode ~num_cells:10 instr in
+      I.equal instr (Encoding.decode ~num_cells:10 bits))
+
+let test_encoding_validation () =
+  check_bool "oob cell rejected" true
+    (try ignore (Encoding.encode ~num_cells:4 (I.set_const true 5)); false
+     with Invalid_argument _ -> true);
+  check_bool "wrong length rejected" true
+    (try ignore (Encoding.decode ~num_cells:4 [| true |]); false
+     with Invalid_argument _ -> true)
+
+let test_footprint () =
+  let p = sample_program () in
+  let f = Encoding.footprint p in
+  check_int "data" 4 f.Encoding.data_cells;
+  (* 4 cells -> 2 address bits, operand 3 bits, instruction 8 bits, 3 instrs *)
+  check_int "instruction cells" 24 f.Encoding.instruction_cells;
+  check_int "total" 28 f.Encoding.total_cells;
+  check_int "program bits" 24 (Array.length (Encoding.encode_program p))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "isa"
+    [ ( "instruction",
+        [ Alcotest.test_case "semantics" `Quick test_semantics_table;
+          Alcotest.test_case "set_const" `Quick test_set_const;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "printing" `Quick test_printing ] );
+      ( "program",
+        [ Alcotest.test_case "stats" `Quick test_program_stats;
+          Alcotest.test_case "validation" `Quick test_program_validation ] );
+      ( "assembly",
+        [ Alcotest.test_case "roundtrip" `Quick test_asm_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_asm_parsing;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          qc asm_roundtrip_random ] );
+      ( "encoding",
+        [ Alcotest.test_case "address widths" `Quick test_encoding_widths;
+          Alcotest.test_case "validation" `Quick test_encoding_validation;
+          Alcotest.test_case "footprint" `Quick test_footprint;
+          qc encode_roundtrip ] ) ]

@@ -1,0 +1,267 @@
+module Tt = Plim_logic.Truth_table
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tt_equal = Alcotest.testable Tt.pp Tt.equal
+
+(* --- basic operations ------------------------------------------------- *)
+
+let test_consts () =
+  check_int "ones of const true (3 vars)" 8 (Tt.count_ones (Tt.const_ 3 true));
+  check_int "ones of const false" 0 (Tt.count_ones (Tt.const_ 3 false));
+  check_bool "get" true (Tt.get (Tt.const_ 2 true) 3)
+
+let test_var_patterns () =
+  let x0 = Tt.var 3 0 in
+  for m = 0 to 7 do
+    check_bool "x0 pattern" (m land 1 = 1) (Tt.get x0 m)
+  done;
+  let x2 = Tt.var 3 2 in
+  for m = 0 to 7 do
+    check_bool "x2 pattern" (m land 4 = 4) (Tt.get x2 m)
+  done
+
+let test_var_large () =
+  (* variable index >= 6 exercises the whole-word pattern path *)
+  let x7 = Tt.var 9 7 in
+  for _ = 0 to 0 do
+    check_bool "bit 128" false (Tt.get x7 0);
+    check_bool "bit with x7 set" true (Tt.get x7 128);
+    check_bool "next period" false (Tt.get x7 256)
+  done;
+  check_int "balanced" 256 (Tt.count_ones x7)
+
+let test_ops_vs_bool () =
+  let n = 3 in
+  let a = Tt.var n 0 and b = Tt.var n 1 and c = Tt.var n 2 in
+  let expect name f tt =
+    for m = 0 to 7 do
+      let va = m land 1 = 1 and vb = m land 2 = 2 and vc = m land 4 = 4 in
+      check_bool (Printf.sprintf "%s @%d" name m) (f va vb vc) (Tt.get tt m)
+    done
+  in
+  expect "and" (fun x y _ -> x && y) (Tt.and_ a b);
+  expect "or" (fun x y _ -> x || y) (Tt.or_ a b);
+  expect "xor" (fun x y _ -> x <> y) (Tt.xor a b);
+  expect "not" (fun x _ _ -> not x) (Tt.not_ a);
+  expect "maj" (fun x y z -> (x && y) || (x && z) || (y && z)) (Tt.maj a b c);
+  expect "mux" (fun s t e -> if s then t else e) (Tt.mux a b c)
+
+let test_eval () =
+  let f = Tt.of_fun 4 (fun v -> v.(0) && not v.(3)) in
+  check_bool "eval" true (Tt.eval f [| true; false; true; false |]);
+  check_bool "eval" false (Tt.eval f [| true; false; true; true |])
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Truth_table: arity mismatch")
+    (fun () -> ignore (Tt.and_ (Tt.var 2 0) (Tt.var 3 0)))
+
+let test_bounds () =
+  Alcotest.check_raises "var oob" (Invalid_argument "Truth_table.var: index out of range")
+    (fun () -> ignore (Tt.var 3 3));
+  Alcotest.check_raises "too many vars"
+    (Invalid_argument "Truth_table: 17 variables unsupported") (fun () ->
+      ignore (Tt.const_ 17 false))
+
+let test_to_hex () =
+  Alcotest.(check string) "xor hex" "0000000000000006" (Tt.to_hex (Tt.xor (Tt.var 2 0) (Tt.var 2 1)))
+
+(* --- the MIG algebra as truth-table identities ------------------------ *)
+(* These validate the algebra the rewriting engine relies on (Section
+   III-A1 of the paper). *)
+
+let v n i = Tt.var n i
+
+let test_commutativity () =
+  let n = 3 in
+  let x = v n 0 and y = v n 1 and z = v n 2 in
+  Alcotest.check tt_equal "<xyz>=<yxz>" (Tt.maj x y z) (Tt.maj y x z);
+  Alcotest.check tt_equal "<xyz>=<zyx>" (Tt.maj x y z) (Tt.maj z y x)
+
+let test_majority_axiom () =
+  let n = 2 in
+  let x = v n 0 and z = v n 1 in
+  Alcotest.check tt_equal "<xxz>=x" x (Tt.maj x x z);
+  Alcotest.check tt_equal "<x!xz>=z" z (Tt.maj x (Tt.not_ x) z)
+
+let test_associativity_axiom () =
+  let n = 4 in
+  let x = v n 0 and u = v n 1 and y = v n 2 and z = v n 3 in
+  Alcotest.check tt_equal "<xu<yuz>>=<zu<yux>>"
+    (Tt.maj x u (Tt.maj y u z))
+    (Tt.maj z u (Tt.maj y u x))
+
+let test_distributivity_axiom () =
+  let n = 5 in
+  let x = v n 0 and y = v n 1 and u = v n 2 and w = v n 3 and z = v n 4 in
+  Alcotest.check tt_equal "<xy<uwz>>=<<xyu><xyw>z>"
+    (Tt.maj x y (Tt.maj u w z))
+    (Tt.maj (Tt.maj x y u) (Tt.maj x y w) z)
+
+let test_inverter_propagation_axiom () =
+  let n = 3 in
+  let x = v n 0 and y = v n 1 and z = v n 2 in
+  Alcotest.check tt_equal "!<xyz>=<!x!y!z>"
+    (Tt.not_ (Tt.maj x y z))
+    (Tt.maj (Tt.not_ x) (Tt.not_ y) (Tt.not_ z))
+
+let test_complementary_associativity_axiom () =
+  let n = 4 in
+  let x = v n 0 and u = v n 1 and y = v n 2 and z = v n 3 in
+  (* <xu<y!uz>> = <xu<yxz>> *)
+  Alcotest.check tt_equal "psi.c (inner !u -> x)"
+    (Tt.maj x u (Tt.maj y (Tt.not_ u) z))
+    (Tt.maj x u (Tt.maj y x z));
+  (* <xu<y!xz>> = <xu<yuz>> *)
+  Alcotest.check tt_equal "psi.c (inner !x -> u)"
+    (Tt.maj x u (Tt.maj y (Tt.not_ x) z))
+    (Tt.maj x u (Tt.maj y u z))
+
+let test_relevance_axiom () =
+  (* <xyz> = <xy z[x <- !y]> is not implemented, but the two-operand
+     inverter forms used by Omega.I(R->L)(1-3) are: *)
+  let n = 3 in
+  let x = v n 0 and y = v n 1 and z = v n 2 in
+  Alcotest.check tt_equal "<!x!yz> = !<xy!z>"
+    (Tt.maj (Tt.not_ x) (Tt.not_ y) z)
+    (Tt.not_ (Tt.maj x y (Tt.not_ z)))
+
+let of_fun_matches_ops =
+  QCheck.Test.make ~count:100 ~name:"of_fun/eval roundtrip"
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (n, salt) ->
+      let f v =
+        let h = Array.fold_left (fun acc b -> (acc * 2) + if b then 1 else 0) salt v in
+        h mod 3 = 0
+      in
+      let tt = Tt.of_fun n f in
+      let ok = ref true in
+      for m = 0 to (1 lsl n) - 1 do
+        let v = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+        if Tt.eval tt v <> f v then ok := false
+      done;
+      !ok)
+
+let demorgan =
+  QCheck.Test.make ~count:100 ~name:"De Morgan on random variable pairs"
+    QCheck.(triple (int_range 2 10) (int_range 0 9) (int_range 0 9))
+    (fun (n, i, j) ->
+      QCheck.assume (i < n && j < n);
+      let a = Tt.var n i and b = Tt.var n j in
+      Tt.equal (Tt.not_ (Tt.and_ a b)) (Tt.or_ (Tt.not_ a) (Tt.not_ b)))
+
+(* --- BDDs -------------------------------------------------------------- *)
+
+module Bdd = Plim_logic.Bdd
+
+let test_bdd_ops_vs_truth_table () =
+  let n = 4 in
+  let man = Bdd.manager ~num_vars:n () in
+  let bv = Array.init n (Bdd.var man) in
+  let tv = Array.init n (Tt.var n) in
+  let pairs =
+    [ (Bdd.and_ man bv.(0) bv.(1), Tt.and_ tv.(0) tv.(1));
+      (Bdd.or_ man bv.(0) bv.(2), Tt.or_ tv.(0) tv.(2));
+      (Bdd.xor man bv.(1) bv.(3), Tt.xor tv.(1) tv.(3));
+      (Bdd.not_ man bv.(2), Tt.not_ tv.(2));
+      (Bdd.maj man bv.(0) bv.(1) bv.(2), Tt.maj tv.(0) tv.(1) tv.(2));
+      (Bdd.ite man bv.(3) bv.(0) bv.(1), Tt.mux tv.(3) tv.(0) tv.(1)) ]
+  in
+  List.iteri
+    (fun k (b, t) ->
+      for m = 0 to 15 do
+        let v = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+        check_bool (Printf.sprintf "op %d @%d" k m) (Tt.eval t v) (Bdd.eval man b v)
+      done)
+    pairs
+
+let test_bdd_canonicity () =
+  let man = Bdd.manager ~num_vars:3 () in
+  let a = Bdd.var man 0 and b = Bdd.var man 1 and c = Bdd.var man 2 in
+  (* two syntactically different constructions of the same function *)
+  let f1 = Bdd.or_ man (Bdd.and_ man a b) (Bdd.and_ man (Bdd.not_ man a) c) in
+  let f2 = Bdd.ite man a b c in
+  check_bool "canonical" true (Bdd.equal f1 f2);
+  check_bool "tautology is true" true
+    (Bdd.equal (Bdd.or_ man a (Bdd.not_ man a)) (Bdd.true_ man));
+  check_bool "contradiction is false" true
+    (Bdd.equal (Bdd.and_ man a (Bdd.not_ man a)) (Bdd.false_ man));
+  check_bool "const" true (Bdd.is_const (Bdd.true_ man))
+
+let test_bdd_order () =
+  (* adder-style function: interleaved order keeps it small, the naive
+     order blows up *)
+  let width = 10 in
+  let carry_bdd order =
+    let man = Bdd.manager ?order ~num_vars:(2 * width) () in
+    let carry = ref (Bdd.false_ man) in
+    for i = 0 to width - 1 do
+      let a = Bdd.var man i and b = Bdd.var man (width + i) in
+      carry := Bdd.maj man a b !carry
+    done;
+    Bdd.size man !carry
+  in
+  let natural = carry_bdd None in
+  let interleaved = carry_bdd (Some (Bdd.interleave 2 width)) in
+  check_bool
+    (Printf.sprintf "interleaving helps (%d < %d)" interleaved natural)
+    true
+    (interleaved < natural);
+  check_bool "interleaved carry is linear" true (interleaved <= 3 * width)
+
+let test_bdd_validation () =
+  Alcotest.check_raises "bad order" (Invalid_argument "Bdd.manager: order is not a permutation")
+    (fun () -> ignore (Bdd.manager ~order:[| 0; 0 |] ~num_vars:2 ()));
+  let man = Bdd.manager ~num_vars:2 () in
+  Alcotest.check_raises "var range" (Invalid_argument "Bdd.var: out of range") (fun () ->
+      ignore (Bdd.var man 2))
+
+let bdd_matches_tt =
+  QCheck.Test.make ~count:60 ~name:"random MIG: BDD agrees with truth table"
+    QCheck.small_int
+    (fun seed ->
+      let g =
+        Plim_mig.Mig_gen.random ~seed ~num_inputs:6 ~num_nodes:40 ~num_outputs:3 ()
+      in
+      let man, bdds = Plim_mig.Mig_bdd.output_bdds g in
+      let tts = Plim_mig.Mig.output_tables g in
+      let ok = ref true in
+      for m = 0 to 63 do
+        let v = Array.init 6 (fun i -> (m lsr i) land 1 = 1) in
+        Array.iteri
+          (fun o b -> if Bdd.eval man b v <> Tt.eval tts.(o) v then ok := false)
+          bdds
+      done;
+      !ok)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "logic"
+    [ ( "truth-table",
+        [ Alcotest.test_case "constants" `Quick test_consts;
+          Alcotest.test_case "var patterns" `Quick test_var_patterns;
+          Alcotest.test_case "var >= 6" `Quick test_var_large;
+          Alcotest.test_case "ops vs bool" `Quick test_ops_vs_bool;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "to_hex" `Quick test_to_hex;
+          qc of_fun_matches_ops;
+          qc demorgan ] );
+      ( "mig-algebra",
+        [ Alcotest.test_case "commutativity" `Quick test_commutativity;
+          Alcotest.test_case "majority" `Quick test_majority_axiom;
+          Alcotest.test_case "associativity" `Quick test_associativity_axiom;
+          Alcotest.test_case "distributivity" `Quick test_distributivity_axiom;
+          Alcotest.test_case "inverter propagation" `Quick test_inverter_propagation_axiom;
+          Alcotest.test_case "complementary associativity" `Quick
+            test_complementary_associativity_axiom;
+          Alcotest.test_case "two-complement inverter form" `Quick test_relevance_axiom ] );
+      ( "bdd",
+        [ Alcotest.test_case "ops vs truth table" `Quick test_bdd_ops_vs_truth_table;
+          Alcotest.test_case "canonicity" `Quick test_bdd_canonicity;
+          Alcotest.test_case "variable order matters" `Quick test_bdd_order;
+          Alcotest.test_case "validation" `Quick test_bdd_validation;
+          qc bdd_matches_tt ] ) ]

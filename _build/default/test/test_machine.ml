@@ -1,0 +1,243 @@
+module I = Plim_isa.Instruction
+module Program = Plim_isa.Program
+module Controller = Plim_machine.Plim_controller
+module Crossbar = Plim_rram.Crossbar
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* NOT gate: z := 1; RM3(0, a, z) -> <0, !a, 1> = !a *)
+let not_program () =
+  Program.make
+    ~instrs:[| I.set_const true 1; I.rm3 ~a:(I.Const false) ~b:(I.Cell 0) ~z:1 |]
+    ~num_cells:2 ~pi_cells:[| ("a", 0) |] ~po_cells:[| ("y", 1) |]
+
+(* COPY: z := 0; RM3(a, 0, z) -> <a, 1, 0> = a *)
+let copy_program () =
+  Program.make
+    ~instrs:[| I.set_const false 1; I.rm3 ~a:(I.Cell 0) ~b:(I.Const false) ~z:1 |]
+    ~num_cells:2 ~pi_cells:[| ("a", 0) |] ~po_cells:[| ("y", 1) |]
+
+(* MAJ3 in place: cells a b z; RM3 needs !b available, so feed b
+   complemented via a NOT into a temp first: full majority test *)
+let maj_program () =
+  Program.make
+    ~instrs:
+      [| I.set_const true 3;
+         I.rm3 ~a:(I.Const false) ~b:(I.Cell 1) ~z:3; (* t := !b *)
+         I.rm3 ~a:(I.Cell 0) ~b:(I.Cell 3) ~z:2 (* z <- <a, b, z> *) |]
+    ~num_cells:4
+    ~pi_cells:[| ("a", 0); ("b", 1); ("c", 2) |]
+    ~po_cells:[| ("y", 2) |]
+
+let test_not () =
+  List.iter
+    (fun v ->
+      let outputs, _, _ = Controller.run (not_program ()) ~inputs:[ ("a", v) ] in
+      check_bool "not" (not v) (List.assoc "y" outputs))
+    [ false; true ]
+
+let test_copy () =
+  List.iter
+    (fun v ->
+      let outputs, _, _ = Controller.run (copy_program ()) ~inputs:[ ("a", v) ] in
+      check_bool "copy" v (List.assoc "y" outputs))
+    [ false; true ]
+
+let test_maj () =
+  for m = 0 to 7 do
+    let a = m land 1 = 1 and b = m land 2 = 2 and c = m land 4 = 4 in
+    let outputs, _, _ =
+      Controller.run (maj_program ()) ~inputs:[ ("a", a); ("b", b); ("c", c) ]
+    in
+    check_bool
+      (Printf.sprintf "maj %b %b %b" a b c)
+      ((a && b) || (a && c) || (b && c))
+      (List.assoc "y" outputs)
+  done
+
+let test_stats () =
+  let _, xbar, stats = Controller.run (maj_program ()) ~inputs:[ ("a", true); ("b", false); ("c", true) ] in
+  check_int "instructions" 3 stats.Controller.instructions;
+  (* cycles: set_const (1 write), not (1 read + 1 write), rm3 (2 reads + 1 write) *)
+  check_int "cycles" 6 stats.Controller.cycles;
+  check_int "temp writes" 2 (Crossbar.writes xbar 3);
+  check_int "dest writes" 1 (Crossbar.writes xbar 2);
+  check_int "pi cell writes uncounted" 0 (Crossbar.writes xbar 0)
+
+let test_trace () =
+  let entries = ref [] in
+  let _ =
+    Controller.run (not_program ()) ~on_step:(fun e -> entries := e :: !entries)
+      ~inputs:[ ("a", true) ]
+  in
+  let entries = List.rev !entries in
+  check_int "two steps" 2 (List.length entries);
+  (match entries with
+  | [ first; second ] ->
+    check_int "pc 0" 0 first.Controller.pc;
+    check_bool "z after set" true first.Controller.z_after;
+    check_bool "b read" true second.Controller.b_value;
+    check_bool "final !a" false second.Controller.z_after
+  | _ -> Alcotest.fail "expected 2 entries")
+
+let test_input_binding_errors () =
+  let p = not_program () in
+  Alcotest.check_raises "missing"
+    (Invalid_argument "Plim_controller.run: missing input \"a\"") (fun () ->
+      ignore (Controller.run p ~inputs:[]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Plim_controller.run: duplicate input \"a\"") (fun () ->
+      ignore (Controller.run p ~inputs:[ ("a", true); ("a", false) ]));
+  Alcotest.check_raises "extra" (Invalid_argument "Plim_controller.run: unknown extra inputs")
+    (fun () -> ignore (Controller.run p ~inputs:[ ("a", true); ("b", false) ]))
+
+let test_run_vector () =
+  let out = Controller.run_vector (not_program ()) [| true |] in
+  Alcotest.(check (array bool)) "vector api" [| false |] out;
+  Alcotest.check_raises "arity" (Invalid_argument "Plim_controller.run_vector: input arity mismatch")
+    (fun () -> ignore (Controller.run_vector (not_program ()) [||]))
+
+let test_endurance_mid_run () =
+  (* a 2-write program against a 1-write budget must fail *)
+  Alcotest.check_raises "wear-out" (Failure "Crossbar: write to failed cell 1") (fun () ->
+      ignore (Controller.run ~endurance:1 (not_program ()) ~inputs:[ ("a", true) ]))
+
+(* --- self-hosted execution -------------------------------------------------- *)
+
+let test_self_hosted_matches_direct () =
+  let g = Plim_benchgen.Arith.adder ~width:4 in
+  let r = Plim_core.Pipeline.compile Plim_core.Pipeline.endurance_full g in
+  let p = r.Plim_core.Pipeline.program in
+  let rng = Plim_util.Splitmix.create 77 in
+  for _ = 1 to 16 do
+    let inputs =
+      Array.to_list
+        (Array.map
+           (fun (n, _) -> (n, Plim_util.Splitmix.bool rng))
+           p.Plim_isa.Program.pi_cells)
+    in
+    let direct, _, dstats = Controller.run p ~inputs in
+    let hosted, xbar, hstats = Controller.run_self_hosted p ~inputs in
+    Alcotest.(check (list (pair string bool))) "same outputs" direct hosted;
+    check_int "same instruction count" dstats.Controller.instructions
+      hstats.Controller.instructions;
+    check_bool "fetch traffic adds cycles" true
+      (hstats.Controller.cycles > dstats.Controller.cycles);
+    (* instruction cells are never written during execution *)
+    let writes = Crossbar.write_counts xbar in
+    let data = p.Plim_isa.Program.num_cells in
+    for i = data to Array.length writes - 1 do
+      if writes.(i) <> 0 then Alcotest.failf "instruction cell %d written" i
+    done
+  done
+
+let test_self_hosted_cycle_model () =
+  let p = not_program () in
+  let _, _, stats = Controller.run_self_hosted p ~inputs:[ ("a", true) ] in
+  let per = Plim_isa.Encoding.instruction_bits ~num_cells:2 in
+  (* 2 instructions: 2 fetches + 1 operand read (the IMP's cell) + 2 writes *)
+  check_int "cycles" ((2 * per) + 1 + 2) stats.Controller.cycles
+
+(* --- energy model --------------------------------------------------------- *)
+
+module Energy = Plim_machine.Energy
+
+let test_energy_accounting () =
+  let _, xbar, stats =
+    Controller.run (maj_program ()) ~inputs:[ ("a", true); ("b", false); ("c", true) ]
+  in
+  let r = Energy.of_run xbar stats in
+  check_int "reads" (stats.Controller.cycles - stats.Controller.instructions) r.Energy.reads;
+  check_int "writes" 3 r.Energy.writes;
+  check_bool "transitions <= writes" true (r.Energy.transitions <= r.Energy.writes);
+  let m = Energy.default_model in
+  let expected =
+    (float_of_int r.Energy.reads *. m.Energy.read_pj)
+    +. (float_of_int r.Energy.transitions *. m.Energy.switch_write_pj)
+    +. float_of_int (r.Energy.writes - r.Energy.transitions) *. m.Energy.hold_write_pj
+  in
+  Alcotest.(check (float 1e-9)) "total" expected r.Energy.total_pj;
+  check_bool "per-instruction positive" true (r.Energy.per_instruction_pj > 0.0)
+
+let test_energy_custom_model () =
+  let _, xbar, stats = Controller.run (not_program ()) ~inputs:[ ("a", false) ] in
+  let model = { Energy.read_pj = 0.0; switch_write_pj = 1.0; hold_write_pj = 1.0 } in
+  let r = Energy.of_run ~model xbar stats in
+  Alcotest.(check (float 1e-9)) "writes only" (float_of_int r.Energy.writes) r.Energy.total_pj
+
+(* --- endurance campaigns --------------------------------------------------- *)
+
+module Campaign = Plim_machine.Campaign
+
+let campaign_program () =
+  (* every execution writes cell 1 twice (NOT program) *)
+  not_program ()
+
+let test_campaign_until_failure () =
+  let p = campaign_program () in
+  let o = Campaign.run_until_failure ~endurance:20 p in
+  check_bool "fails" true o.Campaign.failed;
+  (* cell 1 takes 2 writes per run: the budget of 20 writes admits exactly
+     10 complete executions; the 11th touches the failed cell *)
+  check_int "executions before failure" 10 o.Campaign.executions_completed
+
+let test_campaign_max_executions () =
+  let p = campaign_program () in
+  let o = Campaign.run_until_failure ~endurance:1000 ~max_executions:50 p in
+  check_bool "survives" false o.Campaign.failed;
+  check_int "all executions" 50 o.Campaign.executions_completed
+
+let test_campaign_matches_static_estimate () =
+  let g = Plim_benchgen.Arith.adder ~width:4 in
+  let r = Plim_core.Pipeline.compile Plim_core.Pipeline.endurance_full g in
+  let p = r.Plim_core.Pipeline.program in
+  let endurance = 500 in
+  let o = Campaign.run_until_failure ~endurance p in
+  let max_writes =
+    Array.fold_left max 1 (Program.static_write_counts p)
+  in
+  let predicted = endurance / max_writes in
+  check_bool
+    (Printf.sprintf "measured %d ~ predicted %d" o.Campaign.executions_completed predicted)
+    true
+    (o.Campaign.failed && abs (o.Campaign.executions_completed - predicted) <= 1)
+
+let test_campaign_start_gap_extends_lifetime () =
+  let g = Plim_benchgen.Arith.multiplier ~width:4 in
+  let p = (Plim_core.Pipeline.compile Plim_core.Pipeline.naive g).Plim_core.Pipeline.program in
+  let endurance = 2000 in
+  let plain = Campaign.run_until_failure ~endurance ~max_executions:5000 p in
+  let rotated =
+    Campaign.run_with_start_gap ~psi:50 ~endurance ~max_executions:5000 p
+  in
+  check_bool
+    (Printf.sprintf "start-gap %d >= plain %d executions" rotated.Campaign.executions_completed
+       plain.Campaign.executions_completed)
+    true
+    (rotated.Campaign.executions_completed >= plain.Campaign.executions_completed)
+
+let () =
+  Alcotest.run "machine"
+    [ ( "controller",
+        [ Alcotest.test_case "NOT program" `Quick test_not;
+          Alcotest.test_case "COPY program" `Quick test_copy;
+          Alcotest.test_case "MAJ program (exhaustive)" `Quick test_maj;
+          Alcotest.test_case "run stats" `Quick test_stats;
+          Alcotest.test_case "trace callback" `Quick test_trace;
+          Alcotest.test_case "input binding errors" `Quick test_input_binding_errors;
+          Alcotest.test_case "run_vector" `Quick test_run_vector;
+          Alcotest.test_case "endurance mid-run" `Quick test_endurance_mid_run ] );
+      ( "self-hosted",
+        [ Alcotest.test_case "matches direct run" `Quick test_self_hosted_matches_direct;
+          Alcotest.test_case "cycle model" `Quick test_self_hosted_cycle_model ] );
+      ( "energy",
+        [ Alcotest.test_case "accounting" `Quick test_energy_accounting;
+          Alcotest.test_case "custom model" `Quick test_energy_custom_model ] );
+      ( "campaign",
+        [ Alcotest.test_case "until failure" `Quick test_campaign_until_failure;
+          Alcotest.test_case "max executions" `Quick test_campaign_max_executions;
+          Alcotest.test_case "matches static estimate" `Quick
+            test_campaign_matches_static_estimate;
+          Alcotest.test_case "start-gap extends lifetime" `Slow
+            test_campaign_start_gap_extends_lifetime ] ) ]

@@ -1,0 +1,315 @@
+module Mig = Plim_mig.Mig
+module Mig_io = Plim_mig.Mig_io
+module Mig_gen = Plim_mig.Mig_gen
+module Tt = Plim_logic.Truth_table
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh3 () =
+  let g = Mig.create () in
+  let a = Mig.add_input g "a" in
+  let b = Mig.add_input g "b" in
+  let c = Mig.add_input g "c" in
+  (g, a, b, c)
+
+(* --- construction ------------------------------------------------------ *)
+
+let test_signals () =
+  let s = Mig.signal 5 true in
+  check_int "node" 5 (Mig.node_of s);
+  check_bool "compl" true (Mig.is_complemented s);
+  check_bool "double negation" true (Mig.signal_equal s (Mig.not_ (Mig.not_ s)));
+  check_bool "const" true (Mig.is_const Mig.true_);
+  check_bool "true = !false" true (Mig.signal_equal Mig.true_ (Mig.not_ Mig.false_))
+
+let test_omega_m_on_create () =
+  let g, a, b, _ = fresh3 () in
+  check_bool "<aab>=a" true (Mig.signal_equal a (Mig.maj g a a b));
+  check_bool "<a!ab>=b" true (Mig.signal_equal b (Mig.maj g a (Mig.not_ a) b));
+  check_bool "<a a a>=a" true (Mig.signal_equal a (Mig.maj g a a a));
+  check_bool "<a 0 1>=a" true (Mig.signal_equal a (Mig.maj g a Mig.false_ Mig.true_));
+  check_int "no node created" 0 (Mig.size g)
+
+let test_strash () =
+  let g, a, b, c = fresh3 () in
+  let n1 = Mig.maj g a b c in
+  let n2 = Mig.maj g c a b in
+  let n3 = Mig.maj g b c a in
+  check_bool "commutative dedup" true (Mig.signal_equal n1 n2);
+  check_bool "commutative dedup" true (Mig.signal_equal n1 n3);
+  let n4 = Mig.maj g (Mig.not_ a) b c in
+  check_bool "different polarity distinct" false (Mig.signal_equal n1 n4)
+
+let test_lookup () =
+  let g, a, b, c = fresh3 () in
+  Alcotest.(check bool) "lookup miss" true (Mig.lookup g a b c = None);
+  let n = Mig.maj g a b c in
+  Alcotest.(check bool) "lookup hit" true (Mig.lookup g b c a = Some n);
+  Alcotest.(check bool) "lookup reduce" true (Mig.lookup g a a b = Some a);
+  (* lookup never creates *)
+  let before = Mig.num_nodes g in
+  ignore (Mig.lookup g (Mig.not_ a) (Mig.not_ b) c);
+  check_int "lookup is pure" before (Mig.num_nodes g)
+
+let test_gate_semantics () =
+  let g, a, b, c = fresh3 () in
+  Mig.add_output g "and" (Mig.and_ g a b);
+  Mig.add_output g "or" (Mig.or_ g a b);
+  Mig.add_output g "xor" (Mig.xor g a b);
+  Mig.add_output g "mux" (Mig.mux g a b c);
+  for m = 0 to 7 do
+    let va = m land 1 = 1 and vb = m land 2 = 2 and vc = m land 4 = 4 in
+    let out = Mig.eval g [| va; vb; vc |] in
+    check_bool "and" (va && vb) out.(0);
+    check_bool "or" (va || vb) out.(1);
+    check_bool "xor" (va <> vb) out.(2);
+    check_bool "mux" (if va then vb else vc) out.(3)
+  done
+
+let test_duplicate_input () =
+  let g = Mig.create () in
+  ignore (Mig.add_input g "a");
+  Alcotest.check_raises "dup" (Invalid_argument "Mig.add_input: duplicate input \"a\"")
+    (fun () -> ignore (Mig.add_input g "a"))
+
+(* --- inspection -------------------------------------------------------- *)
+
+let test_levels_depth () =
+  let g, a, b, c = fresh3 () in
+  let n1 = Mig.maj g a b c in
+  let n2 = Mig.maj g n1 a b in
+  Mig.add_output g "y" n2;
+  let lv = Mig.levels g in
+  check_int "input level" 0 lv.(Mig.node_of a);
+  check_int "level 1" 1 lv.(Mig.node_of n1);
+  check_int "level 2" 2 lv.(Mig.node_of n2);
+  check_int "depth" 2 (Mig.depth g)
+
+let test_fanouts_reachability () =
+  let g, a, b, c = fresh3 () in
+  let n1 = Mig.maj g a b c in
+  let n2 = Mig.maj g n1 a b in
+  let dead = Mig.maj g n1 (Mig.not_ b) c in
+  Mig.add_output g "y" n2;
+  let mark = Mig.reachable g in
+  check_bool "n2 reachable" true mark.(Mig.node_of n2);
+  check_bool "dead not reachable" false mark.(Mig.node_of dead);
+  check_int "size counts reachable only" 2 (Mig.size g);
+  let fc = Mig.fanout_counts g in
+  check_int "n1 fanout (reachable only)" 1 fc.(Mig.node_of n1);
+  check_int "a fanout" 2 fc.(Mig.node_of a);
+  let orefs = Mig.output_refs g in
+  check_int "n2 po refs" 1 orefs.(Mig.node_of n2);
+  let fl = Mig.fanouts g in
+  Alcotest.(check (array int)) "n1 parents" [| Mig.node_of n2 |] fl.(Mig.node_of n1)
+
+let test_cleanup () =
+  let g, a, b, c = fresh3 () in
+  let n1 = Mig.maj g a b c in
+  ignore (Mig.maj g n1 (Mig.not_ b) c);
+  Mig.add_output g "y" n1;
+  let g' = Mig.cleanup g in
+  check_int "dead removed" 1 (Mig.size g');
+  check_int "inputs preserved" 3 (Mig.num_inputs g');
+  check_int "outputs preserved" 1 (Mig.num_outputs g')
+
+let test_complemented_edges () =
+  let g, a, b, c = fresh3 () in
+  let n = Mig.maj g (Mig.not_ a) (Mig.not_ b) c in
+  Mig.add_output g "y" (Mig.not_ n);
+  check_int "2 complemented child edges, PO polarity uncounted" 2
+    (Mig.num_complemented_edges g)
+
+(* --- evaluation vs truth tables ---------------------------------------- *)
+
+let random_mig seed =
+  Mig_gen.random ~seed ~num_inputs:5 ~num_nodes:30 ~num_outputs:4 ()
+
+let eval_matches_tables =
+  QCheck.Test.make ~count:60 ~name:"eval agrees with output_tables"
+    QCheck.small_int (fun seed ->
+      let g = random_mig seed in
+      let tables = Mig.output_tables g in
+      let ok = ref true in
+      for m = 0 to 31 do
+        let v = Array.init 5 (fun i -> (m lsr i) land 1 = 1) in
+        let out = Mig.eval g v in
+        Array.iteri (fun o tt -> if Tt.eval tt v <> out.(o) then ok := false) tables
+      done;
+      !ok)
+
+let map_rebuild_preserves =
+  QCheck.Test.make ~count:60 ~name:"cleanup preserves functionality"
+    QCheck.small_int (fun seed ->
+      let g = random_mig seed in
+      let g' = Mig.cleanup g in
+      let t = Mig.output_tables g and t' = Mig.output_tables g' in
+      Array.for_all2 Tt.equal t t')
+
+(* --- io ----------------------------------------------------------------- *)
+
+let test_io_roundtrip_manual () =
+  let g, a, b, c = fresh3 () in
+  let n1 = Mig.maj g a (Mig.not_ b) c in
+  Mig.add_output g "y" (Mig.not_ n1);
+  Mig.add_output g "z" a;
+  let g' = Mig_io.of_string (Mig_io.to_string g) in
+  check_int "inputs" 3 (Mig.num_inputs g');
+  check_int "outputs" 2 (Mig.num_outputs g');
+  check_int "size" 1 (Mig.size g');
+  let t = Mig.output_tables g and t' = Mig.output_tables g' in
+  check_bool "functionally equal" true (Array.for_all2 Tt.equal t t')
+
+let io_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"mig text format roundtrip"
+    QCheck.small_int (fun seed ->
+      let g = random_mig seed in
+      let g' = Mig_io.of_string (Mig_io.to_string g) in
+      Mig.num_inputs g' = Mig.num_inputs g
+      && Mig.num_outputs g' = Mig.num_outputs g
+      && Array.for_all2 Tt.equal (Mig.output_tables g) (Mig.output_tables g'))
+
+let test_io_errors () =
+  Alcotest.check_raises "missing header"
+    (Failure "Mig_io.of_string: line 1: expected 'mig' header") (fun () ->
+      ignore (Mig_io.of_string ".node 1 2 3 4"));
+  Alcotest.check_raises "unknown operand"
+    (Failure "Mig_io.of_string: line 2: operand references unknown node 9") (fun () ->
+      ignore (Mig_io.of_string "mig\n.node 4 9 9 9"))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dot () =
+  let g, a, b, c = fresh3 () in
+  Mig.add_output g "y" (Mig.maj g a (Mig.not_ b) c);
+  let dot = Mig_io.to_dot g in
+  check_bool "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  check_bool "has dashed edge" true (contains dot "dashed")
+
+(* --- blif ------------------------------------------------------------------ *)
+
+module Blif = Plim_mig.Blif
+
+let test_blif_parse () =
+  let text =
+    "# a 2:1 mux with a don't-care cube\n\
+     .model mux\n\
+     .inputs s a b\n\
+     .outputs y\n\
+     .names s a b y\n\
+     11- 1\n\
+     0-1 1\n\
+     .end\n"
+  in
+  let g = Blif.of_string text in
+  check_int "inputs" 3 (Mig.num_inputs g);
+  check_int "outputs" 1 (Mig.num_outputs g);
+  for m = 0 to 7 do
+    let s = m land 1 = 1 and a = m land 2 = 2 and b = m land 4 = 4 in
+    let out = Mig.eval g [| s; a; b |] in
+    check_bool "mux semantics" (if s then a else b) out.(0)
+  done
+
+let test_blif_offset_cover () =
+  (* cover given by its off-set (output column 0) *)
+  let text = ".model f\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n" in
+  let g = Blif.of_string text in
+  for m = 0 to 3 do
+    let a = m land 1 = 1 and b = m land 2 = 2 in
+    check_bool "nand" (not (a && b)) (Mig.eval g [| a; b |]).(0)
+  done
+
+let test_blif_constants_and_continuation () =
+  let text =
+    ".model k\n.inputs a\n.outputs one zero pass\n.names one\n1\n.names zero\n\
+     .names a \\\npass\n1 1\n.end\n"
+  in
+  let g = Blif.of_string text in
+  let out = Mig.eval g [| true |] in
+  Alcotest.(check (array bool)) "consts + buffer" [| true; false; true |] out
+
+let test_blif_errors () =
+  check_bool "latch rejected" true
+    (try ignore (Blif.of_string ".model x\n.latch a b\n.end\n"); false
+     with Failure _ -> true);
+  check_bool "arity mismatch rejected" true
+    (try ignore (Blif.of_string ".model x\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n"); false
+     with Failure _ -> true);
+  check_bool "undriven output rejected" true
+    (try ignore (Blif.of_string ".model x\n.inputs a\n.outputs y\n.end\n"); false
+     with Failure _ -> true)
+
+let blif_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"blif write/read roundtrip preserves function"
+    QCheck.small_int (fun seed ->
+      let g = random_mig seed in
+      let g' = Blif.of_string (Blif.to_string g) in
+      Mig.num_inputs g' = Mig.num_inputs g
+      && Mig.num_outputs g' = Mig.num_outputs g
+      && Array.for_all2 Tt.equal (Mig.output_tables g) (Mig.output_tables g'))
+
+let test_blif_roundtrip_adder () =
+  let g = Plim_benchgen.Arith.adder ~width:4 in
+  let g' = Blif.of_string (Blif.to_string ~model:"adder4" g) in
+  check_bool "adder roundtrip" true
+    (Array.for_all2 Tt.equal (Mig.output_tables g) (Mig.output_tables g'))
+
+(* --- generator ----------------------------------------------------------- *)
+
+let test_gen_counts () =
+  let g = Mig_gen.random ~seed:1 ~num_inputs:7 ~num_nodes:50 ~num_outputs:5 () in
+  check_int "inputs" 7 (Mig.num_inputs g);
+  check_int "outputs" 5 (Mig.num_outputs g);
+  check_bool "about the right size" true (Mig.size g > 30 && Mig.size g <= 50)
+
+let test_gen_deterministic () =
+  let build () =
+    Mig_io.to_string (Mig_gen.random ~seed:123 ~num_inputs:6 ~num_nodes:40 ~num_outputs:3 ())
+  in
+  Alcotest.(check string) "same seed, same graph" (build ()) (build ())
+
+let test_gen_distinct_seeds () =
+  let build seed =
+    Mig_io.to_string (Mig_gen.random ~seed ~num_inputs:6 ~num_nodes:40 ~num_outputs:3 ())
+  in
+  check_bool "different seeds differ" true (build 1 <> build 2)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "mig"
+    [ ( "construction",
+        [ Alcotest.test_case "signals" `Quick test_signals;
+          Alcotest.test_case "omega.M on create" `Quick test_omega_m_on_create;
+          Alcotest.test_case "structural hashing" `Quick test_strash;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "derived gates" `Quick test_gate_semantics;
+          Alcotest.test_case "duplicate input" `Quick test_duplicate_input ] );
+      ( "inspection",
+        [ Alcotest.test_case "levels/depth" `Quick test_levels_depth;
+          Alcotest.test_case "fanouts/reachability" `Quick test_fanouts_reachability;
+          Alcotest.test_case "cleanup" `Quick test_cleanup;
+          Alcotest.test_case "complemented edges" `Quick test_complemented_edges ] );
+      ( "evaluation",
+        [ qc eval_matches_tables; qc map_rebuild_preserves ] );
+      ( "io",
+        [ Alcotest.test_case "roundtrip (manual)" `Quick test_io_roundtrip_manual;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "dot export" `Quick test_dot;
+          qc io_roundtrip ] );
+      ( "blif",
+        [ Alcotest.test_case "parse mux" `Quick test_blif_parse;
+          Alcotest.test_case "off-set cover" `Quick test_blif_offset_cover;
+          Alcotest.test_case "constants/continuation" `Quick
+            test_blif_constants_and_continuation;
+          Alcotest.test_case "errors" `Quick test_blif_errors;
+          Alcotest.test_case "adder roundtrip" `Quick test_blif_roundtrip_adder;
+          qc blif_roundtrip ] );
+      ( "generator",
+        [ Alcotest.test_case "counts" `Quick test_gen_counts;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_gen_distinct_seeds ] ) ]

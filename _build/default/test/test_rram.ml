@@ -1,0 +1,92 @@
+module Crossbar = Plim_rram.Crossbar
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_create_read () =
+  let x = Crossbar.create 8 in
+  check_int "size" 8 (Crossbar.size x);
+  for i = 0 to 7 do
+    check_bool "fresh HRS" false (Crossbar.read x i)
+  done
+
+let test_write_counts () =
+  let x = Crossbar.create 4 in
+  Crossbar.write x 0 true;
+  Crossbar.write x 0 true;
+  Crossbar.write x 0 false;
+  check_int "three write ops" 3 (Crossbar.writes x 0);
+  check_int "two actual transitions" 2 (Crossbar.transitions x 0);
+  check_int "untouched" 0 (Crossbar.writes x 1);
+  Alcotest.(check (array int)) "snapshot" [| 3; 0; 0; 0 |] (Crossbar.write_counts x)
+
+(* exhaustive check of the intrinsic RM3 against the ISA semantics *)
+let test_rm3_semantics () =
+  for m = 0 to 7 do
+    let p = m land 1 = 1 and q = m land 2 = 2 and z = m land 4 = 4 in
+    let x = Crossbar.create 1 in
+    Crossbar.load x 0 z;
+    Crossbar.rm3 x ~p ~q 0;
+    let expected = Plim_isa.Instruction.semantics ~a:p ~b:q ~z in
+    check_bool (Printf.sprintf "rm3 p=%b q=%b z=%b" p q z) expected (Crossbar.read x 0)
+  done
+
+let test_load_uncounted () =
+  let x = Crossbar.create 2 in
+  Crossbar.load x 0 true;
+  check_int "load does not count" 0 (Crossbar.writes x 0);
+  check_bool "but changes state" true (Crossbar.read x 0)
+
+let test_endurance_failure () =
+  let x = Crossbar.create ~endurance:3 2 in
+  Crossbar.write x 0 true;
+  Crossbar.write x 0 false;
+  check_bool "not yet failed" false (Crossbar.failed x 0);
+  Crossbar.write x 0 true;
+  check_bool "failed at budget" true (Crossbar.failed x 0);
+  check_int "one failed cell" 1 (Crossbar.num_failed x);
+  Alcotest.check_raises "write to failed cell" (Failure "Crossbar: write to failed cell 0")
+    (fun () -> Crossbar.write x 0 true)
+
+let test_reset_counters () =
+  let x = Crossbar.create 2 in
+  Crossbar.write x 1 true;
+  Crossbar.reset_counters x;
+  check_int "writes reset" 0 (Crossbar.writes x 1);
+  check_bool "state kept" true (Crossbar.read x 1)
+
+let test_bounds () =
+  let x = Crossbar.create 2 in
+  Alcotest.check_raises "oob" (Invalid_argument "Crossbar: cell 2 out of range (size 2)")
+    (fun () -> ignore (Crossbar.read x 2))
+
+(* property: a random op sequence keeps writes = loads-excluded op count *)
+let write_accounting =
+  QCheck.Test.make ~count:100 ~name:"write counter equals write-op count"
+    QCheck.(list (pair (int_range 0 3) bool))
+    (fun ops ->
+      let x = Crossbar.create 4 in
+      let expected = Array.make 4 0 in
+      List.iter
+        (fun (cell, v) ->
+          if v then begin
+            Crossbar.write x cell v;
+            expected.(cell) <- expected.(cell) + 1
+          end
+          else Crossbar.load x cell v)
+        ops;
+      Crossbar.write_counts x = expected)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "rram"
+    [ ( "crossbar",
+        [ Alcotest.test_case "create/read" `Quick test_create_read;
+          Alcotest.test_case "write counts" `Quick test_write_counts;
+          Alcotest.test_case "rm3 semantics (exhaustive)" `Quick test_rm3_semantics;
+          Alcotest.test_case "load uncounted" `Quick test_load_uncounted;
+          Alcotest.test_case "endurance failure" `Quick test_endurance_failure;
+          Alcotest.test_case "reset counters" `Quick test_reset_counters;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          qc write_accounting ] ) ]

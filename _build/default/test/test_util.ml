@@ -1,0 +1,247 @@
+module Vec = Plim_util.Vec
+module Splitmix = Plim_util.Splitmix
+module Lazy_heap = Plim_util.Lazy_heap
+module Stats = Plim_stats.Stats
+module Lifetime = Plim_stats.Lifetime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Vec ------------------------------------------------------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 0 to 99 do
+    check_int "push returns index" i (Vec.push v (i * 2))
+  done;
+  check_int "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check_int "get" (i * 2) (Vec.get v i)
+  done
+
+let test_vec_set () =
+  let v = Vec.of_array ~dummy:0 [| 1; 2; 3 |] in
+  Vec.set v 1 42;
+  Alcotest.(check (list int)) "set" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_vec_pop () =
+  let v = Vec.of_array ~dummy:0 [| 1; 2 |] in
+  Alcotest.(check (option int)) "pop" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_vec_bounds () =
+  let v = Vec.of_array ~dummy:0 [| 1 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index 1 out of bounds (length 1)")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "neg" (Invalid_argument "Vec: index -1 out of bounds (length 1)")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_vec_clear_iter () =
+  let v = Vec.of_array ~dummy:0 [| 5; 6; 7 |] in
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int))) "iteri" [ (2, 7); (1, 6); (0, 5) ] !acc;
+  check_int "fold" 18 (Vec.fold_left ( + ) 0 v);
+  check_bool "exists" true (Vec.exists (( = ) 6) v);
+  check_bool "exists not" false (Vec.exists (( = ) 9) v);
+  Vec.clear v;
+  check_int "cleared" 0 (Vec.length v)
+
+let vec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"vec of_array/to_array roundtrip"
+    QCheck.(array small_int)
+    (fun a -> Vec.to_array (Vec.of_array ~dummy:0 a) = a)
+
+(* --- Splitmix -------------------------------------------------------- *)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 99 and b = Splitmix.create 99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next64 a) (Splitmix.next64 b)
+  done
+
+let test_splitmix_copy () =
+  let a = Splitmix.create 7 in
+  ignore (Splitmix.next64 a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copy continues stream" (Splitmix.next64 a) (Splitmix.next64 b)
+
+let splitmix_int_bounds =
+  QCheck.Test.make ~count:500 ~name:"splitmix int in bounds"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Splitmix.create seed in
+      let x = Splitmix.int rng bound in
+      x >= 0 && x < bound)
+
+let test_splitmix_float_range () =
+  let rng = Splitmix.create 3 in
+  for _ = 1 to 1000 do
+    let f = Splitmix.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_splitmix_bits () =
+  let rng = Splitmix.create 4 in
+  check_int "bits width" 17 (Array.length (Splitmix.bits rng ~width:17))
+
+(* --- Lazy_heap ------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Lazy_heap.create ~capacity:10 in
+  Lazy_heap.insert h (3, 0, 0) 1;
+  Lazy_heap.insert h (1, 0, 0) 2;
+  Lazy_heap.insert h (2, 0, 0) 3;
+  Alcotest.(check (option (pair (triple int int int) int)))
+    "min" (Some ((1, 0, 0), 2)) (Lazy_heap.pop_min h);
+  Alcotest.(check (option (pair (triple int int int) int)))
+    "next" (Some ((2, 0, 0), 3)) (Lazy_heap.pop_min h);
+  Alcotest.(check (option (pair (triple int int int) int)))
+    "last" (Some ((3, 0, 0), 1)) (Lazy_heap.pop_min h);
+  check_bool "empty" true (Lazy_heap.is_empty h)
+
+let test_heap_rekey () =
+  let h = Lazy_heap.create ~capacity:10 in
+  Lazy_heap.insert h (5, 0, 0) 1;
+  Lazy_heap.insert h (4, 0, 0) 2;
+  (* element 1 improves past element 2 *)
+  Lazy_heap.insert h (1, 0, 0) 1;
+  Alcotest.(check (option (pair (triple int int int) int)))
+    "rekeyed element wins" (Some ((1, 0, 0), 1)) (Lazy_heap.pop_min h);
+  check_int "one live left" 1 (Lazy_heap.live_count h)
+
+let test_heap_remove () =
+  let h = Lazy_heap.create ~capacity:10 in
+  Lazy_heap.insert h (1, 0, 0) 1;
+  Lazy_heap.insert h (2, 0, 0) 2;
+  Lazy_heap.remove h 1;
+  Alcotest.(check (option (pair (triple int int int) int)))
+    "removed skipped" (Some ((2, 0, 0), 2)) (Lazy_heap.pop_min h);
+  Alcotest.(check (option (pair (triple int int int) int))) "drained" None (Lazy_heap.pop_min h)
+
+let heap_vs_sort =
+  QCheck.Test.make ~count:200 ~name:"lazy heap drains in sorted key order"
+    QCheck.(list (pair (int_range 0 50) (int_range 0 30)))
+    (fun entries ->
+      let h = Lazy_heap.create ~capacity:32 in
+      (* later inserts for the same element override earlier ones *)
+      let final = Hashtbl.create 16 in
+      List.iter
+        (fun (key, elt) ->
+          Lazy_heap.insert h (key, 0, elt) elt;
+          Hashtbl.replace final elt key)
+        entries;
+      let expected =
+        Hashtbl.fold (fun elt key acc -> (key, elt) :: acc) final []
+        |> List.sort compare
+      in
+      let rec drain acc =
+        match Lazy_heap.pop_min h with
+        | None -> List.rev acc
+        | Some ((k, _, _), elt) -> drain ((k, elt) :: acc)
+      in
+      drain [] = expected)
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 2; 4; 4; 4; 5; 5; 7; 9 |] in
+  check_int "min" 2 s.Stats.min;
+  check_int "max" 9 s.Stats.max;
+  check_int "total" 40 s.Stats.total;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "stdev" 2.0 s.Stats.stdev
+
+let test_stats_singleton () =
+  let s = Stats.summarize [| 7 |] in
+  Alcotest.(check (float 1e-9)) "stdev of singleton" 0.0 s.Stats.stdev;
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.summarize: empty array")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let test_stats_improvement () =
+  Alcotest.(check (float 1e-9)) "50%" 50.0 (Stats.improvement_pct ~baseline:10.0 5.0);
+  Alcotest.(check (float 1e-9)) "-100%" (-100.0) (Stats.improvement_pct ~baseline:5.0 10.0);
+  Alcotest.(check (float 1e-9)) "zero baseline" 0.0 (Stats.improvement_pct ~baseline:0.0 3.0)
+
+let test_stats_quantile () =
+  let xs = [| 9; 1; 8; 2; 7; 3; 6; 4; 5 |] in
+  check_int "median" 5 (Stats.quantile 0.5 xs);
+  check_int "min" 1 (Stats.quantile 0.0 xs);
+  check_int "max" 9 (Stats.quantile 1.0 xs)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bucket:10 [| 1; 5; 11; 12; 25 |] in
+  Alcotest.(check (list (pair int int))) "buckets" [ (0, 2); (10, 2); (20, 1) ] h
+
+let test_stats_gini () =
+  Alcotest.(check (float 1e-9)) "uniform gini" 0.0 (Stats.gini [| 5; 5; 5; 5 |]);
+  check_bool "concentrated gini high" true (Stats.gini [| 0; 0; 0; 100 |] > 0.7)
+
+let stdev_nonneg =
+  QCheck.Test.make ~count:300 ~name:"stdev is non-negative and shift-invariant"
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 1000))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let s = (Stats.summarize a).Stats.stdev in
+      let shifted = Array.map (( + ) 17) a in
+      let s' = (Stats.summarize shifted).Stats.stdev in
+      s >= 0.0 && abs_float (s -. s') < 1e-6)
+
+(* --- Lifetime --------------------------------------------------------- *)
+
+let test_lifetime () =
+  let t = Lifetime.estimate ~endurance:1e10 [| 10; 10; 10; 10 |] in
+  Alcotest.(check (float 1.0)) "first failure" 1e9 t.Lifetime.executions_to_first_failure;
+  Alcotest.(check (float 1e-9)) "balanced" 1.0 t.Lifetime.balance_efficiency;
+  let t = Lifetime.estimate ~endurance:1e10 [| 0; 0; 0; 40 |] in
+  Alcotest.(check (float 1e-6)) "skewed efficiency" 0.25 t.Lifetime.balance_efficiency;
+  let t = Lifetime.estimate ~endurance:1e10 [| 0; 0 |] in
+  check_bool "no writes = infinite" true (t.Lifetime.executions_to_first_failure = infinity)
+
+(* --- Csv --------------------------------------------------------------- *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Plim_stats.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Plim_stats.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Plim_stats.Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Plim_stats.Csv.escape "a\nb")
+
+let test_csv_table () =
+  Alcotest.(check string) "table" "x,y\n1,\"a,b\"\n"
+    (Plim_stats.Csv.table ~header:[ "x"; "y" ] [ [ "1"; "a,b" ] ])
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "util"
+    [ ( "vec",
+        [ Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "set" `Quick test_vec_set;
+          Alcotest.test_case "pop" `Quick test_vec_pop;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "clear/iter/fold/exists" `Quick test_vec_clear_iter;
+          qc vec_roundtrip ] );
+      ( "splitmix",
+        [ Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "copy" `Quick test_splitmix_copy;
+          Alcotest.test_case "float range" `Quick test_splitmix_float_range;
+          Alcotest.test_case "bits" `Quick test_splitmix_bits;
+          qc splitmix_int_bounds ] );
+      ( "lazy-heap",
+        [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "rekey" `Quick test_heap_rekey;
+          Alcotest.test_case "remove" `Quick test_heap_remove;
+          qc heap_vs_sort ] );
+      ( "stats",
+        [ Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "singleton/empty" `Quick test_stats_singleton;
+          Alcotest.test_case "improvement" `Quick test_stats_improvement;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "gini" `Quick test_stats_gini;
+          qc stdev_nonneg ] );
+      ("lifetime", [ Alcotest.test_case "estimates" `Quick test_lifetime ]);
+      ( "csv",
+        [ Alcotest.test_case "escaping" `Quick test_csv_escape;
+          Alcotest.test_case "table" `Quick test_csv_table ] ) ]
