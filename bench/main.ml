@@ -21,6 +21,8 @@ module Stats = Plim_stats.Stats
 module Lifetime = Plim_stats.Lifetime
 module Alloc = Plim_core.Alloc
 module Select = Plim_core.Select
+module Obs = Plim_obs.Obs
+module Profile = Plim_obs.Profile
 
 let caps = [ 10; 20; 50; 100 ]
 
@@ -67,7 +69,7 @@ let all_results () =
   List.map
     (fun spec ->
       Printf.eprintf "[bench] %s...\n%!" spec.Suite.name;
-      run_benchmark spec)
+      Obs.span ("bench." ^ spec.Suite.name) (fun () -> run_benchmark spec))
     Suite.all
 
 let impr baseline v = Stats.improvement_pct ~baseline v
@@ -630,7 +632,64 @@ let export_csv results dir =
        results);
   Printf.eprintf "[bench] wrote %s/table{1,2,3}.csv\n%!" dir
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: bench/results/latest.json carries the same
+   numbers as Tables I-III plus phase wall-clock totals, so the perf
+   trajectory can be tracked across commits (schema in EXPERIMENTS.md). *)
+
+let bprintf = Printf.bprintf
+
+let buf_result b ?cap ~config (res : Pipeline.result) =
+  let s = summary res in
+  let p = res.Pipeline.program in
+  bprintf b "{\"config\":\"%s\"" config;
+  (match cap with Some c -> bprintf b ",\"cap\":%d" c | None -> ());
+  bprintf b
+    ",\"instructions\":%d,\"rram_cells\":%d,\"writes\":{\"min\":%d,\"max\":%d,\"total\":%d,\"mean\":%.6g,\"stdev\":%.6g}}"
+    (Program.length p) (Program.num_cells p) s.Stats.min s.Stats.max s.Stats.total
+    s.Stats.mean s.Stats.stdev
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let write_results_json results path =
+  ensure_dir (Filename.dirname path);
+  let b = Buffer.create 65536 in
+  bprintf b "{\"schema\":\"plim-bench/v1\",\"generated_at\":%.0f,\"benchmarks\":[\n"
+    (Unix.time ());
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      bprintf b "{\"name\":\"%s\",\"pi\":%d,\"po\":%d,\"configs\":[" r.spec.Suite.name
+        r.spec.Suite.pi r.spec.Suite.po;
+      List.iteri
+        (fun j (config, res) ->
+          if j > 0 then Buffer.add_char b ',';
+          buf_result b ~config res)
+        [ ("naive", r.naive); ("dac16", r.dac16); ("min-write", r.min_write);
+          ("endurance-rewrite", r.endurance_rewrite);
+          ("endurance-full", r.endurance_full) ];
+      List.iter
+        (fun (cap, res) ->
+          Buffer.add_char b ',';
+          buf_result b ~cap ~config:(Printf.sprintf "endurance-full+cap%d" cap) res)
+        r.capped;
+      Buffer.add_string b "]}")
+    results;
+  Buffer.add_string b "\n],\"phases\":[";
+  List.iteri
+    (fun i (name, (calls, total)) ->
+      if i > 0 then Buffer.add_char b ',';
+      bprintf b "\n{\"name\":\"%s\",\"calls\":%d,\"total_s\":%.6f}" name calls total)
+    (Profile.totals ());
+  Buffer.add_string b "\n]}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.eprintf "[bench] wrote %s\n%!" path
+
 let () =
+  Profile.enable ();
   let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in
   let default = args = [] in
   let want x = default || List.mem x args || List.mem "all" args in
@@ -641,6 +700,7 @@ let () =
          args
   in
   let results = if need_tables then all_results () else [] in
+  if results <> [] then write_results_json results "bench/results/latest.json";
   if List.mem "csv" args || List.mem "all" args then export_csv results "bench_csv";
   if want "table1" then table1 results;
   if want "table2" then table2 results;

@@ -15,8 +15,55 @@ module Asm = Plim_isa.Asm
 module Stats = Plim_stats.Stats
 module Lifetime = Plim_stats.Lifetime
 module Controller = Plim_machine.Plim_controller
+module Metrics = Plim_obs.Metrics
+module Trace = Plim_obs.Trace
+module Profile = Plim_obs.Profile
 
 open Cmdliner
+
+(* ---------------------------------------------------------------- *)
+(* Observability: --trace/--metrics/--profile are shared by the
+   compiling subcommands; the [profile] subcommand prints phase totals. *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Stream structured trace events (allocator cell lifecycle, RM3 \
+                 writes, rewrite passes) as JSON lines to $(docv).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print a snapshot of all metrics counters to stderr when the \
+                 command finishes.")
+
+let profile_flag_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Record profiling spans and write them as Chrome trace_event \
+                 JSON to $(docv) (open in chrome://tracing or ui.perfetto.dev).")
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  output_string oc (Profile.to_chrome_json ());
+  close_out oc;
+  Printf.eprintf "wrote Chrome trace to %s (open in chrome://tracing)\n%!" path
+
+let print_metrics () =
+  Format.eprintf "metrics snapshot:@.%a" Metrics.pp_snapshot (Metrics.snapshot ())
+
+(* Run [f] under the requested observability setup; emit the artefacts even
+   when [f] exits nonzero paths via exceptions. *)
+let with_obs ~trace ~metrics ~profile f =
+  if Option.is_some profile then Profile.enable ();
+  let finish () =
+    Option.iter write_chrome_trace profile;
+    if metrics then print_metrics ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      match trace with
+      | Some path -> Trace.with_jsonl path f
+      | None -> f ())
 
 (* ---------------------------------------------------------------- *)
 
@@ -124,7 +171,9 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
 
-let compile_run source config cap effort rewriting selection allocation output dot verify =
+let compile_run source config cap effort rewriting selection allocation output dot verify
+    trace metrics profile =
+  with_obs ~trace ~metrics ~profile @@ fun () ->
   let config = override config rewriting selection allocation in
   let config = { config with Pipeline.effort } in
   let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
@@ -170,9 +219,12 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a benchmark, .mig or .blif file to PLiM assembly.")
     Term.(
       const compile_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
-      $ selection_arg $ allocation_arg $ output $ dot $ verify)
+      $ selection_arg $ allocation_arg $ output $ dot $ verify $ trace_arg $ metrics_arg
+      $ profile_flag_arg)
 
-let stats_run source config cap effort rewriting selection allocation endurance =
+let stats_run source config cap effort rewriting selection allocation endurance trace
+    metrics profile =
+  with_obs ~trace ~metrics ~profile @@ fun () ->
   let config = override config rewriting selection allocation in
   let config = { config with Pipeline.effort } in
   let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
@@ -216,7 +268,8 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Compile and report write-traffic statistics and lifetime.")
     Term.(
       const stats_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
-      $ selection_arg $ allocation_arg $ endurance)
+      $ selection_arg $ allocation_arg $ endurance $ trace_arg $ metrics_arg
+      $ profile_flag_arg)
 
 let exec_run path inputs =
   let p = Asm.read_file path in
@@ -273,6 +326,47 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a benchmark as a .mig or .blif file.")
     Term.(const export_run $ source_arg $ output)
 
+let profile_run source config cap effort rewriting selection allocation exec output
+    metrics =
+  let config = override config rewriting selection allocation in
+  let config = { config with Pipeline.effort } in
+  let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
+  Profile.enable ();
+  let g = load_mig source in
+  let result = Pipeline.compile config g in
+  let p = result.Pipeline.program in
+  (if exec then
+     let inputs = Array.to_list (Array.map (fun (n, _) -> (n, false)) p.Program.pi_cells) in
+     ignore (Controller.run p ~inputs));
+  Printf.printf "%s: %s: %d instructions, %d devices\n" source
+    (Pipeline.config_name config) (Program.length p) (Program.num_cells p);
+  Printf.printf "\nphase totals (wall clock):\n";
+  Format.printf "%a" Profile.pp_totals (Profile.totals ());
+  Option.iter write_chrome_trace output;
+  if metrics then print_metrics ()
+
+let profile_cmd =
+  let exec =
+    Arg.(value & flag
+         & info [ "exec" ]
+             ~doc:"Also execute the compiled program once (all-false inputs) so \
+                   machine and crossbar phases appear in the profile.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the spans as Chrome trace_event JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile a benchmark with profiling spans enabled and print per-phase \
+          wall-clock totals (rewriting passes, node selection, translation, \
+          machine execution).")
+    Term.(
+      const profile_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
+      $ selection_arg $ allocation_arg $ exec $ output $ metrics_arg)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -308,6 +402,6 @@ let main =
   Cmd.group
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
-    [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; selftest_cmd ]
+    [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; profile_cmd; selftest_cmd ]
 
 let () = exit (Cmd.eval main)

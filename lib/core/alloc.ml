@@ -1,6 +1,15 @@
 module Vec = Plim_util.Vec
+module Metrics = Plim_obs.Metrics
+module Trace = Plim_obs.Trace
 
 type strategy = Lifo | Fifo | Min_write
+
+let m_requests = Metrics.counter "alloc.requests"
+let m_pool_hits = Metrics.counter "alloc.pool_hits"
+let m_fresh = Metrics.counter "alloc.fresh_cells"
+let m_released = Metrics.counter "alloc.released"
+let m_retired = Metrics.counter "alloc.retired_cells"
+let m_writes = Metrics.counter "alloc.writes"
 
 (* Binary min-heap over (writes, cell).  Keys are stable while a cell is
    pooled: pooled devices are dead and receive no writes. *)
@@ -102,26 +111,44 @@ let note_write t cell =
   | Some w when writes_of t cell + 1 > w ->
     invalid_arg (Printf.sprintf "Alloc.note_write: cell %d exceeds cap %d" cell w)
   | Some _ | None -> ());
-  Vec.set t.writes cell (writes_of t cell + 1)
+  let writes = writes_of t cell + 1 in
+  Vec.set t.writes cell writes;
+  Metrics.incr m_writes;
+  if Trace.enabled () then
+    Trace.emit "alloc.write" ~args:[ ("cell", Int cell); ("writes", Int writes) ]
 
 let fresh t =
   ignore (Vec.push t.writes 0);
-  Vec.length t.writes - 1
+  let cell = Vec.length t.writes - 1 in
+  Metrics.incr m_fresh;
+  if Trace.enabled () then Trace.emit "alloc.fresh" ~args:[ ("cell", Int cell) ];
+  cell
 
 let release t cell =
   if cell < 0 || cell >= total_allocated t then
     invalid_arg "Alloc.release: unknown device";
-  if poolable t cell then
+  if poolable t cell then begin
+    Metrics.incr m_released;
+    if Trace.enabled () then
+      Trace.emit "alloc.release"
+        ~args:[ ("cell", Int cell); ("writes", Int (writes_of t cell)) ];
     match t.strategy with
     | Lifo | Fifo -> ignore (Vec.push t.stack cell)
     | Min_write -> Heap.push t.heap (writes_of t cell, cell)
+  end
+  else begin
+    Metrics.incr m_retired;
+    if Trace.enabled () then
+      Trace.emit "alloc.retire"
+        ~args:[ ("cell", Int cell); ("writes", Int (writes_of t cell)) ]
+  end
 
 let fits t needed cell =
   match t.max_write with
   | None -> true
   | Some w -> writes_of t cell + needed <= w
 
-let request ?(needed = 2) t =
+let request_cell ~needed t =
   match t.strategy with
   | Lifo ->
     (* pop until a device fits; re-push the skipped ones preserving order *)
@@ -176,6 +203,17 @@ let request ?(needed = 2) t =
       Heap.push t.heap entry;
       fresh t
     | None -> fresh t)
+
+let request ?(needed = 2) t =
+  Metrics.incr m_requests;
+  let allocated_before = total_allocated t in
+  let cell = request_cell ~needed t in
+  let from_pool = total_allocated t = allocated_before in
+  if from_pool then Metrics.incr m_pool_hits;
+  if Trace.enabled () then
+    Trace.emit "alloc.request"
+      ~args:[ ("cell", Int cell); ("from_pool", Bool from_pool) ];
+  cell
 
 let free_count t =
   match t.strategy with

@@ -3,6 +3,7 @@ module Recipe = Plim_rewrite.Recipe
 module Program = Plim_isa.Program
 module Stats = Plim_stats.Stats
 module Vec = Plim_util.Vec
+module Obs = Plim_obs.Obs
 
 type config = {
   rewriting : Recipe.recipe;
@@ -63,21 +64,28 @@ type result = {
 }
 
 let compile_rewritten config g =
+  Obs.span "pipeline.compile_rewritten" @@ fun () ->
   let alloc = Alloc.create ?max_write:config.max_write ~strategy:config.allocation () in
   let ctx = Translate.make_ctx ~dest_min_write:config.dest_min_write g alloc in
-  Translate.place_inputs ctx;
-  let sel = Select.create ~policy:config.selection g ~pending:ctx.pending in
-  ctx.Translate.on_pending_one <- Select.child_pending_dropped_to_one sel;
-  let rec loop () =
-    match Select.pop sel with
-    | None -> ()
-    | Some id ->
-      Translate.compute_node ctx id;
-      Select.computed sel id;
-      loop ()
+  Obs.span "pipeline.place_inputs" (fun () -> Translate.place_inputs ctx);
+  let sel =
+    Obs.span "pipeline.select_setup" (fun () ->
+        Select.create ~policy:config.selection g ~pending:ctx.pending)
   in
-  loop ();
-  let po_cells = Translate.materialize_outputs ctx in
+  ctx.Translate.on_pending_one <- Select.child_pending_dropped_to_one sel;
+  Obs.span "pipeline.translate" (fun () ->
+      let rec loop () =
+        match Select.pop sel with
+        | None -> ()
+        | Some id ->
+          Translate.compute_node ctx id;
+          Select.computed sel id;
+          loop ()
+      in
+      loop ());
+  let po_cells =
+    Obs.span "pipeline.outputs" (fun () -> Translate.materialize_outputs ctx)
+  in
   let pi_cells =
     Array.init (Mig.num_inputs g) (fun pi ->
         (Mig.input_name g pi, ctx.Translate.pi_cell.(pi)))
@@ -88,11 +96,17 @@ let compile_rewritten config g =
       ~num_cells:(Alloc.total_allocated alloc)
       ~pi_cells ~po_cells
   in
-  let write_counts = Alloc.write_counts alloc in
-  (* a MIG with no inputs and no outputs allocates nothing *)
-  let write_counts = if Array.length write_counts = 0 then [| 0 |] else write_counts in
-  { program; rewritten = g; write_summary = Stats.summarize write_counts; config }
+  (* a MIG with no inputs and no outputs allocates nothing: the summary of
+     an empty write-count array is the all-zero summary *)
+  { program;
+    rewritten = g;
+    write_summary = Stats.summarize (Alloc.write_counts alloc);
+    config }
 
 let compile config mig =
-  let g = Recipe.run config.rewriting ~effort:config.effort mig in
+  Obs.span "pipeline.compile" @@ fun () ->
+  let g =
+    Obs.span "pipeline.rewrite" (fun () ->
+        Recipe.run config.rewriting ~effort:config.effort mig)
+  in
   compile_rewritten config g

@@ -1,7 +1,12 @@
 module Mig = Plim_mig.Mig
 module Lazy_heap = Plim_util.Lazy_heap
+module Metrics = Plim_obs.Metrics
 
 type policy = In_order | Release_first | Level_first
+
+let m_pops = Metrics.counter "select.pops"
+let m_candidates = Metrics.counter "select.candidates"
+let m_requeued = Metrics.counter "select.requeued"
 
 let policy_name = function
   | In_order -> "in-order"
@@ -40,6 +45,7 @@ let key t id =
 
 let add_candidate t id =
   t.is_candidate.(id) <- true;
+  Metrics.incr m_candidates;
   Lazy_heap.insert t.heap (key t id) id
 
 let create ~policy g ~pending =
@@ -95,6 +101,7 @@ let pop t =
   | None -> None
   | Some (_, id) ->
     t.is_candidate.(id) <- false;
+    Metrics.incr m_pops;
     Some id
 
 let computed t id =
@@ -111,6 +118,8 @@ let child_pending_dropped_to_one t id =
   (* the single remaining consumer gains a releasing device *)
   Array.iter
     (fun parent ->
-      if (not t.computed_mark.(parent)) && t.is_candidate.(parent) then
-        Lazy_heap.insert t.heap (key t parent) parent)
+      if (not t.computed_mark.(parent)) && t.is_candidate.(parent) then begin
+        Metrics.incr m_requeued;
+        Lazy_heap.insert t.heap (key t parent) parent
+      end)
     t.fanout_lists.(id)

@@ -1,6 +1,13 @@
 module Mig = Plim_mig.Mig
 module Vec = Plim_util.Vec
 module I = Plim_isa.Instruction
+module Metrics = Plim_obs.Metrics
+module Trace = Plim_obs.Trace
+
+let m_instrs = Metrics.counter "translate.instrs"
+let m_in_place = Metrics.counter "translate.in_place_rm3"
+let m_complements = Metrics.counter "translate.complements"
+let m_copies = Metrics.counter "translate.copies"
 
 type ctx = {
   g : Mig.t;
@@ -29,6 +36,7 @@ let make_ctx ?(dest_min_write = false) g alloc =
 
 let emit ctx instr =
   ignore (Vec.push ctx.instrs instr);
+  Metrics.incr m_instrs;
   Alloc.note_write ctx.alloc instr.I.z
 
 let place_inputs ctx =
@@ -57,6 +65,7 @@ let cell_of_child ctx s =
 (* cell freshly loaded with !v where the child's device holds v:
    set tmp := 1; RM3(0, v, tmp) -> <0, !v, 1> = !v *)
 let materialize_complement ?(needed = 2) ctx s =
+  Metrics.incr m_complements;
   let src = cell_of_child ctx s in
   let tmp = Alloc.request ~needed ctx.alloc in
   emit ctx (I.set_const true tmp);
@@ -66,6 +75,7 @@ let materialize_complement ?(needed = 2) ctx s =
 (* cell freshly loaded with v: set tmp := 0; RM3(v, 0, tmp) -> <v,1,0> = v.
    Always used as the destination of the consuming RM3, hence 3 writes. *)
 let materialize_copy ctx s =
+  Metrics.incr m_copies;
   let src = cell_of_child ctx s in
   let tmp = Alloc.request ~needed:3 ctx.alloc in
   emit ctx (I.set_const false tmp);
@@ -140,6 +150,7 @@ let compute_node ctx id =
       else if Mig.is_complemented sz then materialize_complement ~needed:3 ctx sz
       else if in_place_ok ctx sz then begin
         consumed_in_place := true;
+        Metrics.incr m_in_place;
         cell_of_child ctx sz
       end
       else materialize_copy ctx sz
@@ -163,6 +174,11 @@ let compute_node ctx id =
       end
     in
     emit ctx (I.rm3 ~a:p_operand ~b:q_operand ~z:zcell);
+    if Trace.enabled () then
+      Trace.emit "translate.rm3"
+        ~args:
+          [ ("node", Int id); ("z", Int zcell);
+            ("in_place", Bool !consumed_in_place) ];
     ctx.cell_of.(id) <- zcell;
     (* temporaries are dead once the instruction has executed *)
     List.iter (fun tmp -> Alloc.release ctx.alloc tmp) !temps;

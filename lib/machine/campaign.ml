@@ -3,6 +3,11 @@ module I = Plim_isa.Instruction
 module Crossbar = Plim_rram.Crossbar
 module Start_gap = Plim_rram.Start_gap
 module Splitmix = Plim_util.Splitmix
+module Obs = Plim_obs.Obs
+module Metrics = Plim_obs.Metrics
+
+let m_campaigns = Metrics.counter "campaign.runs"
+let m_executions = Metrics.counter "campaign.executions"
 
 type outcome = {
   executions_completed : int;
@@ -33,6 +38,8 @@ let total_writes xbar = Array.fold_left ( + ) 0 (Crossbar.write_counts xbar)
 
 let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ~physical_cells ~map ~on_write
     ~endurance p =
+  Obs.span "campaign" @@ fun () ->
+  Metrics.incr m_campaigns;
   let xbar = Crossbar.create ~endurance physical_cells in
   let rng = Splitmix.create seed in
   let rec go completed =
@@ -40,7 +47,9 @@ let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ~physical_cells ~map ~
       { executions_completed = completed; failed = false; write_total = total_writes xbar }
     else
       match execute_mapped p xbar rng ~map:(map xbar) ~on_write:(on_write xbar) with
-      | () -> go (completed + 1)
+      | () ->
+        Metrics.incr m_executions;
+        go (completed + 1)
       | exception Failure _ ->
         { executions_completed = completed;
           failed = true;

@@ -1,6 +1,11 @@
 module Crossbar = Plim_rram.Crossbar
 module Program = Plim_isa.Program
 module Instruction = Plim_isa.Instruction
+module Obs = Plim_obs.Obs
+module Metrics = Plim_obs.Metrics
+
+let m_runs = Metrics.counter "machine.runs"
+let m_instructions = Metrics.counter "machine.instructions"
 
 type run_stats = {
   instructions : int;
@@ -17,6 +22,9 @@ type trace_entry = {
 }
 
 let run ?endurance ?on_step (p : Program.t) ~inputs =
+  Obs.span "machine.run" @@ fun () ->
+  Metrics.incr m_runs;
+  Metrics.incr ~by:(Array.length p.Program.instrs) m_instructions;
   let xbar = Crossbar.create ?endurance p.Program.num_cells in
   (* load primary inputs *)
   let bound = Hashtbl.create 16 in
@@ -64,6 +72,9 @@ let run ?endurance ?on_step (p : Program.t) ~inputs =
   (outputs, xbar, { instructions = Array.length p.Program.instrs; cycles = !cycles })
 
 let run_self_hosted ?endurance (p : Program.t) ~inputs =
+  Obs.span "machine.run_self_hosted" @@ fun () ->
+  Metrics.incr m_runs;
+  Metrics.incr ~by:(Array.length p.Program.instrs) m_instructions;
   let module Encoding = Plim_isa.Encoding in
   let data_cells = p.Program.num_cells in
   let footprint = Encoding.footprint p in
@@ -72,18 +83,28 @@ let run_self_hosted ?endurance (p : Program.t) ~inputs =
   (* provision the program into the high region of the array *)
   let program_bits = Encoding.encode_program p in
   Array.iteri (fun i bit -> Crossbar.load xbar (data_cells + i) bit) program_bits;
-  (* load primary inputs *)
+  (* load primary inputs; validation mirrors [run]: duplicates, missing and
+     unknown extras are all rejected *)
+  let bound = Hashtbl.create 16 in
   List.iter
     (fun (name, v) ->
-      match Array.find_opt (fun (n, _) -> String.equal n name) p.Program.pi_cells with
-      | Some (_, cell) -> Crossbar.load xbar cell v
-      | None -> invalid_arg (Printf.sprintf "Plim_controller: unknown input %S" name))
+      if Hashtbl.mem bound name then
+        invalid_arg
+          (Printf.sprintf "Plim_controller.run_self_hosted: duplicate input %S" name);
+      Hashtbl.add bound name v)
     inputs;
   Array.iter
-    (fun (name, _) ->
-      if not (List.mem_assoc name inputs) then
-        invalid_arg (Printf.sprintf "Plim_controller: missing input %S" name))
+    (fun (name, cell) ->
+      match Hashtbl.find_opt bound name with
+      | Some v ->
+        Crossbar.load xbar cell v;
+        Hashtbl.remove bound name
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Plim_controller.run_self_hosted: missing input %S" name))
     p.Program.pi_cells;
+  if Hashtbl.length bound > 0 then
+    invalid_arg "Plim_controller.run_self_hosted: unknown extra inputs";
   let cycles = ref 0 in
   let num_instrs = Array.length p.Program.instrs in
   for pc = 0 to num_instrs - 1 do

@@ -1,0 +1,9 @@
+let default () = Unix.gettimeofday ()
+
+let current = ref default
+
+let now () = !current ()
+
+let set f = current := f
+
+let reset () = current := default

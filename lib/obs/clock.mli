@@ -1,0 +1,13 @@
+(** Wall-clock source shared by tracing and profiling.
+
+    The default reads [Unix.gettimeofday]; tests install a deterministic
+    clock with {!set} so span durations and event timestamps are stable. *)
+
+val now : unit -> float
+(** Current time in seconds (fractional). *)
+
+val set : (unit -> float) -> unit
+(** Replace the clock, e.g. with a fake monotonic counter in tests. *)
+
+val reset : unit -> unit
+(** Restore the [Unix.gettimeofday] clock. *)

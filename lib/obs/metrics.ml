@@ -1,0 +1,58 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable level : float }
+
+(* The registry is append-mostly and consulted only at registration and
+   snapshot time; hot paths hold the [counter] record directly. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; level = 0.0 } in
+    Hashtbl.replace gauges name g;
+    g
+
+let set_gauge g v = g.level <- v
+
+let gauge_value g = g.level
+
+let get name = match Hashtbl.find_opt counters name with Some c -> c.count | None -> 0
+
+type value = Counter of int | Gauge of float
+
+let snapshot () =
+  let entries =
+    Hashtbl.fold (fun name c acc -> (name, Counter c.count) :: acc) counters []
+  in
+  let entries =
+    Hashtbl.fold (fun name g acc -> (name, Gauge g.level) :: acc) gauges entries
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.level <- 0.0) gauges
+
+let pp_snapshot ppf entries =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c -> Format.fprintf ppf "%-28s %d@." name c
+      | Gauge g -> Format.fprintf ppf "%-28s %g@." name g)
+    entries

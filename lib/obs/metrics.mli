@@ -1,0 +1,43 @@
+(** Process-global named metrics: monotonic counters and gauges.
+
+    Counters are registered once (at module initialisation of the
+    instrumented code) and incremented on hot paths — an increment is a
+    single mutable-field bump, cheap enough to leave permanently enabled.
+    [snapshot] renders the whole registry for reporting; [reset] zeroes
+    every value while keeping the registrations, so tests and repeated
+    CLI commands can measure deltas. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** [counter name] returns the counter registered under [name], creating
+    it (at zero) on first use.  The same name always yields the same
+    counter. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to the counter.  [by] must be non-negative. *)
+
+val value : counter -> int
+
+val gauge : string -> gauge
+(** Get-or-create, like {!counter}. *)
+
+val set_gauge : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val get : string -> int
+(** Current value of the counter registered under [name]; 0 if no such
+    counter exists. *)
+
+type value = Counter of int | Gauge of float
+
+val snapshot : unit -> (string * value) list
+(** Every registered metric, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero all counters and gauges; registrations survive. *)
+
+val pp_snapshot : Format.formatter -> (string * value) list -> unit
+(** One [name value] line per metric. *)

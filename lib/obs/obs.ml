@@ -1,0 +1,6 @@
+module Clock = Clock
+module Metrics = Metrics
+module Trace = Trace
+module Profile = Profile
+
+let span = Profile.span

@@ -1,0 +1,20 @@
+(** Umbrella for the observability layer ([Plim_obs]).
+
+    Three independent facilities share this library:
+
+    - {!Metrics}: named monotonic counters and gauges, always on;
+    - {!Trace}: structured events through a pluggable sink ({!Trace.Null}
+      by default, free when off);
+    - {!Profile}: nested timing spans, exportable as Chrome trace JSON.
+
+    Instrumented libraries alias this module ([module Obs = Plim_obs.Obs])
+    and write [Obs.span "phase" f], [Metrics.incr c], or
+    [if Trace.enabled () then Trace.emit …]. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Trace = Trace
+module Profile = Profile
+
+val span : string -> (unit -> 'a) -> 'a
+(** Alias for {!Profile.span}. *)

@@ -1,0 +1,82 @@
+type span = {
+  name : string;
+  start : float;
+  duration : float;
+  depth : int;
+}
+
+let on = ref false
+let recorded : span list ref = ref []  (* completion order, reversed *)
+let current_depth = ref 0
+
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let span name f =
+  if not !on then f ()
+  else begin
+    let start = Clock.now () in
+    let depth = !current_depth in
+    Stdlib.incr current_depth;
+    let finish () =
+      Stdlib.decr current_depth;
+      recorded := { name; start; duration = Clock.now () -. start; depth } :: !recorded
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let spans () = List.rev !recorded
+
+let reset () =
+  recorded := [];
+  current_depth := 0
+
+let totals () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let count, total =
+        Option.value (Hashtbl.find_opt tbl s.name) ~default:(0, 0.0)
+      in
+      Hashtbl.replace tbl s.name (count + 1, total +. s.duration))
+    !recorded;
+  Hashtbl.fold (fun name acc l -> (name, acc) :: l) tbl []
+  |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)
+
+let to_chrome_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n{\"name\":\"";
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char b c)
+        s.name;
+      Buffer.add_string b
+        (Printf.sprintf "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
+           (s.start *. 1e6) (s.duration *. 1e6)))
+    (spans ());
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let pp_totals ppf entries =
+  List.iter
+    (fun (name, (count, total)) ->
+      Format.fprintf ppf "%-32s %6d call%s %12.3f ms@." name count
+        (if count = 1 then " " else "s")
+        (total *. 1e3))
+    entries

@@ -12,9 +12,10 @@ module Mig = Plim_mig.Mig
 
 type pass = Axioms.rule list
 
-val run_pass : Mig.t -> pass -> Mig.t
+val run_pass : ?name:string -> Mig.t -> pass -> Mig.t
 (** One bottom-up rebuild applying the first matching rule per node
-    (Ω.M always applies through the hash-consed constructor). *)
+    (Ω.M always applies through the hash-consed constructor).  [name]
+    labels the pass in emitted trace events (default ["pass"]). *)
 
 type recipe = No_rewriting | Algorithm1 | Algorithm2
 

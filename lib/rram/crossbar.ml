@@ -1,3 +1,6 @@
+module Metrics = Plim_obs.Metrics
+module Trace = Plim_obs.Trace
+
 type t = {
   state : Bytes.t;                 (* 1 = LRS/logic 1 *)
   writes : int array;
@@ -5,6 +8,11 @@ type t = {
   failed : Bytes.t;
   endurance : int option;
 }
+
+let m_writes = Metrics.counter "crossbar.writes"
+let m_reads = Metrics.counter "crossbar.reads"
+let m_loads = Metrics.counter "crossbar.loads"
+let m_failures = Metrics.counter "crossbar.cell_failures"
 
 let create ?endurance n =
   if n < 0 then invalid_arg "Crossbar.create: negative size";
@@ -20,9 +28,12 @@ let check t i =
   if i < 0 || i >= size t then
     invalid_arg (Printf.sprintf "Crossbar: cell %d out of range (size %d)" i (size t))
 
+let get t i = Bytes.get t.state i <> '\000'
+
 let read t i =
   check t i;
-  Bytes.get t.state i <> '\000'
+  Metrics.incr m_reads;
+  get t i
 
 let failed t i =
   check t i;
@@ -35,17 +46,25 @@ let apply_write t i b =
   if Bytes.get t.failed i <> '\000' then
     failwith (Printf.sprintf "Crossbar: write to failed cell %d" i);
   t.writes.(i) <- t.writes.(i) + 1;
-  if read t i <> b then t.transitions.(i) <- t.transitions.(i) + 1;
+  Metrics.incr m_writes;
+  if get t i <> b then t.transitions.(i) <- t.transitions.(i) + 1;
   set_state t i b;
+  if Trace.enabled () then
+    Trace.emit "crossbar.write"
+      ~args:[ ("cell", Int i); ("value", Bool b); ("writes", Int t.writes.(i)) ];
   match t.endurance with
-  | Some budget when t.writes.(i) >= budget -> Bytes.set t.failed i '\001'
+  | Some budget when t.writes.(i) >= budget ->
+    Bytes.set t.failed i '\001';
+    Metrics.incr m_failures;
+    if Trace.enabled () then
+      Trace.emit "crossbar.fail" ~args:[ ("cell", Int i); ("writes", Int t.writes.(i)) ]
   | Some _ | None -> ()
 
 let write t i b = apply_write t i b
 
 let rm3 t ~p ~q i =
   check t i;
-  let z = read t i in
+  let z = get t i in
   let nq = not q in
   let result = (p && nq) || (p && z) || (nq && z) in
   apply_write t i result
@@ -54,6 +73,7 @@ let load t i b =
   check t i;
   if Bytes.get t.failed i <> '\000' then
     failwith (Printf.sprintf "Crossbar: load to failed cell %d" i);
+  Metrics.incr m_loads;
   set_state t i b
 
 let writes t i =

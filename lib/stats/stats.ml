@@ -21,23 +21,27 @@ let stdev xs =
     sqrt (acc /. float_of_int n)
   end
 
+let zero_summary = { count = 0; min = 0; max = 0; total = 0; mean = 0.0; stdev = 0.0 }
+
 let summarize xs =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.summarize: empty array";
-  let mn = ref xs.(0) and mx = ref xs.(0) and total = ref 0 in
-  Array.iter
-    (fun x ->
-      if x < !mn then mn := x;
-      if x > !mx then mx := x;
-      total := !total + x)
-    xs;
-  let floats = Array.map float_of_int xs in
-  { count = n;
-    min = !mn;
-    max = !mx;
-    total = !total;
-    mean = mean floats;
-    stdev = stdev floats }
+  if n = 0 then zero_summary
+  else begin
+    let mn = ref xs.(0) and mx = ref xs.(0) and total = ref 0 in
+    Array.iter
+      (fun x ->
+        if x < !mn then mn := x;
+        if x > !mx then mx := x;
+        total := !total + x)
+      xs;
+    let floats = Array.map float_of_int xs in
+    { count = n;
+      min = !mn;
+      max = !mx;
+      total = !total;
+      mean = mean floats;
+      stdev = stdev floats }
+  end
 
 let improvement_pct ~baseline v =
   if baseline = 0.0 then 0.0 else (baseline -. v) /. baseline *. 100.0

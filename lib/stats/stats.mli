@@ -15,7 +15,10 @@ type summary = {
 }
 
 val summarize : int array -> summary
-(** @raise Invalid_argument on an empty array. *)
+(** The empty array summarises to {!zero_summary}. *)
+
+val zero_summary : summary
+(** All fields zero — the summary of no cells at all. *)
 
 val mean : float array -> float
 

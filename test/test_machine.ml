@@ -139,6 +139,18 @@ let test_self_hosted_cycle_model () =
   (* 2 instructions: 2 fetches + 1 operand read (the IMP's cell) + 2 writes *)
   check_int "cycles" ((2 * per) + 1 + 2) stats.Controller.cycles
 
+let test_self_hosted_input_binding_errors () =
+  let p = not_program () in
+  Alcotest.check_raises "missing"
+    (Invalid_argument "Plim_controller.run_self_hosted: missing input \"a\"") (fun () ->
+      ignore (Controller.run_self_hosted p ~inputs:[]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Plim_controller.run_self_hosted: duplicate input \"a\"") (fun () ->
+      ignore (Controller.run_self_hosted p ~inputs:[ ("a", true); ("a", false) ]));
+  Alcotest.check_raises "extra"
+    (Invalid_argument "Plim_controller.run_self_hosted: unknown extra inputs") (fun () ->
+      ignore (Controller.run_self_hosted p ~inputs:[ ("a", true); ("b", false) ]))
+
 (* --- energy model --------------------------------------------------------- *)
 
 module Energy = Plim_machine.Energy
@@ -230,7 +242,9 @@ let () =
           Alcotest.test_case "endurance mid-run" `Quick test_endurance_mid_run ] );
       ( "self-hosted",
         [ Alcotest.test_case "matches direct run" `Quick test_self_hosted_matches_direct;
-          Alcotest.test_case "cycle model" `Quick test_self_hosted_cycle_model ] );
+          Alcotest.test_case "cycle model" `Quick test_self_hosted_cycle_model;
+          Alcotest.test_case "input binding errors" `Quick
+            test_self_hosted_input_binding_errors ] );
       ( "energy",
         [ Alcotest.test_case "accounting" `Quick test_energy_accounting;
           Alcotest.test_case "custom model" `Quick test_energy_custom_model ] );

@@ -156,8 +156,10 @@ let test_stats_summary () =
 let test_stats_singleton () =
   let s = Stats.summarize [| 7 |] in
   Alcotest.(check (float 1e-9)) "stdev of singleton" 0.0 s.Stats.stdev;
-  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.summarize: empty array")
-    (fun () -> ignore (Stats.summarize [||]))
+  let z = Stats.summarize [||] in
+  Alcotest.(check bool) "empty is zero summary" true (z = Stats.zero_summary);
+  check_int "empty count" 0 z.Stats.count;
+  check_int "empty total" 0 z.Stats.total
 
 let test_stats_improvement () =
   Alcotest.(check (float 1e-9)) "50%" 50.0 (Stats.improvement_pct ~baseline:10.0 5.0);
