@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- summary      -- paper-vs-measured averages
      dune exec bench/main.exe -- ablations    -- design-choice ablations
      dune exec bench/main.exe -- verify       -- machine-vs-MIG verification
+     dune exec bench/main.exe -- faulttol     -- fault-injection degradation sweep
      dune exec bench/main.exe -- perf         -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- all          -- everything *)
 
@@ -23,6 +24,8 @@ module Alloc = Plim_core.Alloc
 module Select = Plim_core.Select
 module Obs = Plim_obs.Obs
 module Profile = Plim_obs.Profile
+module Fault_model = Plim_fault.Fault_model
+module Campaign = Plim_machine.Campaign
 
 let caps = [ 10; 20; 50; 100 ]
 
@@ -480,6 +483,126 @@ let lifetime_bench () =
      the unbalanced naive programs.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fault tolerance: graceful degradation under stuck-at injection and
+   wear-out, behind write-verify + spare-line remapping (Plim_fault).
+   JSON rows accumulate here and land in bench/results/latest.json. *)
+
+let faulttol_rows : string list ref = ref []
+
+let faulttol () =
+  let rates = [ 0.0; 0.005; 0.01; 0.02; 0.05 ] in
+  let budgets = [ 0; 8; 64 ] in
+  let execs = 40 in
+  Printf.printf
+    "\nFAULT TOLERANCE — graceful degradation under stuck-at injection\n";
+  Printf.printf
+    "(write-verify campaigns, %d executions each; inj = faults injected across the\n\
+    \ physical array incl. spares; capacity = surviving fraction; ok = executions\n\
+    \ whose outputs matched the MIG oracle / executions completed)\n"
+    execs;
+  Printf.printf "%-10s %6s" "benchmark" "rate";
+  List.iter
+    (fun sp -> Printf.printf " | %-21s" (Printf.sprintf "spares=%d inj/cap/ok" sp))
+    budgets;
+  print_newline ();
+  let mono_violations = ref 0 in
+  List.iter
+    (fun name ->
+      let spec = Suite.find name in
+      let g = Suite.build_cached spec in
+      let r = Pipeline.compile Pipeline.endurance_full g in
+      let p = r.Pipeline.program in
+      (match Verify.check_random ~trials:4 ~seed:0xFA g p with
+      | Ok () -> ()
+      | Error e ->
+        Printf.printf "  %s: fault-free verification FAILED: %s\n" name e);
+      let prev_cap = Hashtbl.create 4 in
+      List.iter
+        (fun rate ->
+          Printf.printf "%-10s %6.3f" name rate;
+          List.iter
+            (fun spares ->
+              let fault_spec =
+                Fault_model.make ~sa0:(rate *. 2.0 /. 3.0) ~sa1:(rate /. 3.0)
+                  ~seed:0xFA017 ()
+              in
+              let d =
+                Campaign.run_degraded ~seed:0xBE57 ~max_executions:execs ~spares
+                  ~verify:true ~fault_spec ~oracle:(Mig.eval g) p
+              in
+              (* coupled-threshold sampling: for a fixed physical array size,
+                 a higher rate injects a superset of the faults, so capacity
+                 must be non-increasing down each column *)
+              (match Hashtbl.find_opt prev_cap spares with
+              | Some c when d.Campaign.final_capacity > c +. 1e-9 ->
+                incr mono_violations
+              | _ -> ());
+              Hashtbl.replace prev_cap spares d.Campaign.final_capacity;
+              Printf.printf " | %4d %6.4f %3d/%-3d" d.Campaign.injected
+                d.Campaign.final_capacity d.Campaign.correct d.Campaign.executions;
+              faulttol_rows :=
+                Printf.sprintf
+                  "{\"benchmark\":\"%s\",\"rate\":%g,\"spares\":%d,\"injected\":%d,\
+                   \"detections\":%d,\"remaps\":%d,\"verify_reads\":%d,\"retries\":%d,\
+                   \"executions\":%d,\"correct\":%d,\"incorrect\":%d,\"capacity\":%.6g,\
+                   \"spares_remaining\":%d,\"survived\":%b}"
+                  name rate spares d.Campaign.injected d.Campaign.detections
+                  d.Campaign.remaps d.Campaign.verify_reads d.Campaign.retries
+                  d.Campaign.executions d.Campaign.correct d.Campaign.incorrect
+                  d.Campaign.final_capacity d.Campaign.spares_remaining
+                  (d.Campaign.ended = Campaign.Max_executions)
+                :: !faulttol_rows)
+            budgets;
+          print_newline ())
+        rates)
+    [ "adder8"; "dec4"; "rc_small" ];
+  if !mono_violations = 0 then
+    Printf.printf
+      "monotonicity: ok — higher fault rate never increased surviving capacity\n"
+  else Printf.printf "monotonicity: %d VIOLATIONS\n" !mono_violations;
+  Printf.printf
+    "\nWEAR + REPAIR — endurance 400 writes/cell, transient 1e-3 (adder8)\n";
+  Printf.printf
+    "(run_until_failure crashes at the first worn cell; the degraded campaign\n\
+    \ detects the stuck cell by read-back and remaps it to a spare line)\n";
+  let spec = Suite.find "adder8" in
+  let g = Suite.build_cached spec in
+  let p = (Pipeline.compile Pipeline.endurance_full g).Pipeline.program in
+  let endurance = 400 in
+  let crash =
+    (Campaign.run_until_failure ~endurance ~max_executions:100_000 p)
+      .Campaign.executions_completed
+  in
+  Printf.printf "%-8s %12s %10s %8s %8s %10s\n" "spares" "executions" "vs-crash"
+    "remaps" "retries" "capacity";
+  Printf.printf "%-8s %12d %10s %8s %8s %10s   (run_until_failure)\n" "-" crash "1.0x"
+    "-" "-" "-";
+  List.iter
+    (fun spares ->
+      let fault_spec = Fault_model.make ~transient:1e-3 ~seed:0x77EA () in
+      let d =
+        Campaign.run_degraded ~seed:0xBE57 ~max_executions:100_000 ~endurance ~spares
+          ~verify:true ~fault_spec ~oracle:(Mig.eval g) p
+      in
+      Printf.printf "%-8d %12d %9.1fx %8d %8d %10.4f\n" spares d.Campaign.executions
+        (float_of_int d.Campaign.executions /. float_of_int (max 1 crash))
+        d.Campaign.remaps d.Campaign.retries d.Campaign.final_capacity;
+      faulttol_rows :=
+        Printf.sprintf
+          "{\"benchmark\":\"adder8\",\"endurance\":%d,\"spares\":%d,\"injected\":%d,\
+           \"worn_out\":%d,\"detections\":%d,\"remaps\":%d,\"verify_reads\":%d,\
+           \"retries\":%d,\"transient_failures\":%d,\"executions\":%d,\"correct\":%d,\
+           \"incorrect\":%d,\"capacity\":%.6g,\"spares_remaining\":%d,\"survived\":%b}"
+          endurance spares d.Campaign.injected d.Campaign.worn_out
+          d.Campaign.detections d.Campaign.remaps d.Campaign.verify_reads
+          d.Campaign.retries d.Campaign.transient_failures d.Campaign.executions
+          d.Campaign.correct d.Campaign.incorrect d.Campaign.final_capacity
+          d.Campaign.spares_remaining
+          (d.Campaign.ended = Campaign.Max_executions)
+        :: !faulttol_rows)
+    [ 0; 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-level verification of the compiled artefacts. *)
 
 let verify () =
@@ -682,6 +805,13 @@ let write_results_json results path =
       if i > 0 then Buffer.add_char b ',';
       bprintf b "\n{\"name\":\"%s\",\"calls\":%d,\"total_s\":%.6f}" name calls total)
     (Profile.totals ());
+  Buffer.add_string b "\n],\"faulttol\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b row)
+    (List.rev !faulttol_rows);
   Buffer.add_string b "\n]}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -700,7 +830,10 @@ let () =
          args
   in
   let results = if need_tables then all_results () else [] in
-  if results <> [] then write_results_json results "bench/results/latest.json";
+  let want_faulttol = List.mem "faulttol" args || List.mem "all" args in
+  if want_faulttol then faulttol ();
+  if results <> [] || want_faulttol then
+    write_results_json results "bench/results/latest.json";
   if List.mem "csv" args || List.mem "all" args then export_csv results "bench_csv";
   if want "table1" then table1 results;
   if want "table2" then table2 results;

@@ -15,6 +15,8 @@ module Asm = Plim_isa.Asm
 module Stats = Plim_stats.Stats
 module Lifetime = Plim_stats.Lifetime
 module Controller = Plim_machine.Plim_controller
+module Campaign = Plim_machine.Campaign
+module Fault_model = Plim_fault.Fault_model
 module Metrics = Plim_obs.Metrics
 module Trace = Plim_obs.Trace
 module Profile = Plim_obs.Profile
@@ -367,6 +369,124 @@ let profile_cmd =
       const profile_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
       $ selection_arg $ allocation_arg $ exec $ output $ metrics_arg)
 
+(* ---------------------------------------------------------------- *)
+(* faults: compile a benchmark, wrap the crossbar in the fault layer and
+   run a graceful-degradation campaign. *)
+
+let fault_spec_conv =
+  Arg.conv
+    ( (fun s ->
+        match Fault_model.parse s with Ok spec -> Ok spec | Error e -> Error (`Msg e)),
+      Fault_model.pp )
+
+let faults_run source config cap effort rewriting selection allocation inject spares
+    verify_writes seed executions endurance avoid trace metrics profile =
+  with_obs ~trace ~metrics ~profile @@ fun () ->
+  let config = override config rewriting selection allocation in
+  let config = { config with Pipeline.effort } in
+  let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
+  let inject =
+    match seed with Some s -> { inject with Fault_model.seed = s } | None -> inject
+  in
+  let g = load_mig source in
+  let is_faulty =
+    if avoid then Some (fun i -> Fault_model.cell_fault inject i <> None) else None
+  in
+  let result = Pipeline.compile ?is_faulty config g in
+  let p = result.Pipeline.program in
+  Printf.printf "program       : %s: %s, %d instructions, %d devices\n" source
+    (Pipeline.config_name config) (Program.length p) (Program.num_cells p);
+  Printf.printf "fault model   : %s\n" (Fault_model.to_string inject);
+  Printf.printf "repair        : %d spare lines, write-verify %s%s\n" spares
+    (if verify_writes then "on" else "off")
+    (if avoid then ", fault-aware allocation" else "");
+  let d =
+    Campaign.run_degraded
+      ?seed
+      ~max_executions:executions
+      ?endurance
+      ~spares
+      ~verify:verify_writes
+      ~fault_spec:inject
+      ~oracle:(Mig.eval g)
+      p
+  in
+  Printf.printf "executions    : %d completed (%d correct, %d incorrect)\n" d.Campaign.executions
+    d.Campaign.correct d.Campaign.incorrect;
+  Printf.printf "faults        : %d injected, %d worn out during campaign\n" d.Campaign.injected
+    d.Campaign.worn_out;
+  Printf.printf "repairs       : %d detections, %d remaps, %d spares left\n"
+    d.Campaign.detections d.Campaign.remaps d.Campaign.spares_remaining;
+  Printf.printf "verify cost   : %d read-backs, %d retries, %d transient write failures\n"
+    d.Campaign.verify_reads d.Campaign.retries d.Campaign.transient_failures;
+  Printf.printf "write traffic : %d physical writes (including repair traffic)\n"
+    d.Campaign.degraded_write_total;
+  Printf.printf "capacity      : %.4f surviving fraction\n" d.Campaign.final_capacity;
+  (match d.Campaign.ended with
+  | Campaign.Max_executions -> Printf.printf "ended         : execution budget reached\n"
+  | Campaign.Spares_exhausted l ->
+    Printf.printf "ended         : spare pool exhausted repairing logical line %d\n" l);
+  if d.Campaign.curve <> [] then begin
+    Printf.printf "degradation   : (execution, capacity, spares left)\n";
+    List.iter
+      (fun pt ->
+        Printf.printf "                %6d  %.4f  %d\n" pt.Campaign.at_execution
+          pt.Campaign.capacity pt.Campaign.spares_left)
+      d.Campaign.curve
+  end;
+  if d.Campaign.incorrect > 0 then exit 1
+
+let faults_cmd =
+  let inject =
+    Arg.(value & opt fault_spec_conv Fault_model.none
+         & info [ "inject" ] ~docv:"SPEC"
+             ~doc:"Fault injection spec, e.g. \
+                   $(b,sa0:0.01,sa1:0.005,transient:1e-4,growth:1e-6,seed:42). Keys: \
+                   sa0/sa1 (per-cell stuck-at rates), transient (write failure \
+                   probability), growth (transient increase per prior write), seed. \
+                   $(b,none) disables injection.")
+  in
+  let spares =
+    Arg.(value & opt int 0
+         & info [ "spares" ] ~docv:"N" ~doc:"Spare physical lines for remapping.")
+  in
+  let verify_writes =
+    Arg.(value & flag
+         & info [ "verify-writes" ]
+             ~doc:"Read back every destructive write; on mismatch retry, then remap \
+                   to a spare line. Without this flag faults go undetected.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Campaign seed (input vectors) and fault-map seed override.")
+  in
+  let executions =
+    Arg.(value & opt int 100
+         & info [ "executions" ] ~docv:"N" ~doc:"Execution budget for the campaign.")
+  in
+  let endurance =
+    Arg.(value & opt (some int) None
+         & info [ "endurance" ] ~docv:"E"
+             ~doc:"Optional per-cell endurance; worn-out cells become stuck-at faults.")
+  in
+  let avoid =
+    Arg.(value & flag
+         & info [ "avoid-faulty" ]
+             ~doc:"Fault-aware allocation: compile around the known fault map so the \
+                   program never touches an injected-faulty device.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Compile a benchmark and run a graceful-degradation campaign behind the \
+          fault-injection layer: stuck-at and transient faults, write-verify \
+          detection and spare-line remapping.")
+    Term.(
+      const faults_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
+      $ selection_arg $ allocation_arg $ inject $ spares $ verify_writes $ seed
+      $ executions $ endurance $ avoid $ trace_arg $ metrics_arg $ profile_flag_arg)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -402,6 +522,7 @@ let main =
   Cmd.group
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
-    [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; profile_cmd; selftest_cmd ]
+    [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; profile_cmd;
+      selftest_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -68,21 +68,27 @@ module Heap = struct
   let length h = h.len
 end
 
+let m_faulty_skipped = Metrics.counter "alloc.faulty_skipped"
+
 type t = {
   strategy : strategy;
   max_write : int option;
+  is_faulty : int -> bool;
+  mutable faulty_skipped : int;
   writes : int Vec.t;   (* per ever-allocated device *)
   stack : int Vec.t;    (* Lifo/Fifo pool *)
   mutable fifo_head : int;
   heap : Heap.t;        (* Min_write pool *)
 }
 
-let create ?max_write ~strategy () =
+let create ?max_write ?(is_faulty = fun _ -> false) ~strategy () =
   (match max_write with
   | Some w when w < 3 -> invalid_arg "Alloc.create: max_write must be >= 3"
   | Some _ | None -> ());
   { strategy;
     max_write;
+    is_faulty;
+    faulty_skipped = 0;
     writes = Vec.create ~dummy:0 ();
     stack = Vec.create ~dummy:(-1) ();
     fifo_head = 0;
@@ -117,16 +123,28 @@ let note_write t cell =
   if Trace.enabled () then
     Trace.emit "alloc.write" ~args:[ ("cell", Int cell); ("writes", Int writes) ]
 
-let fresh t =
+(* Fault-aware mode: physical cells the fault map marks bad are claimed
+   (they occupy address space — the paper's #R counts them) but never
+   handed out, never pooled and never written. *)
+let rec fresh t =
   ignore (Vec.push t.writes 0);
   let cell = Vec.length t.writes - 1 in
-  Metrics.incr m_fresh;
-  if Trace.enabled () then Trace.emit "alloc.fresh" ~args:[ ("cell", Int cell) ];
-  cell
+  if t.is_faulty cell then begin
+    t.faulty_skipped <- t.faulty_skipped + 1;
+    Metrics.incr m_faulty_skipped;
+    if Trace.enabled () then Trace.emit "alloc.skip_faulty" ~args:[ ("cell", Int cell) ];
+    fresh t
+  end
+  else begin
+    Metrics.incr m_fresh;
+    if Trace.enabled () then Trace.emit "alloc.fresh" ~args:[ ("cell", Int cell) ];
+    cell
+  end
 
 let release t cell =
   if cell < 0 || cell >= total_allocated t then
     invalid_arg "Alloc.release: unknown device";
+  if t.is_faulty cell then invalid_arg "Alloc.release: faulty device";
   if poolable t cell then begin
     Metrics.incr m_released;
     if Trace.enabled () then
@@ -220,3 +238,5 @@ let free_count t =
   | Lifo -> Vec.length t.stack
   | Fifo -> Vec.length t.stack - t.fifo_head
   | Min_write -> Heap.length t.heap
+
+let faulty_skipped t = t.faulty_skipped

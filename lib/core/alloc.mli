@@ -18,8 +18,13 @@ type strategy = Lifo | Fifo | Min_write
 
 type t
 
-val create : ?max_write:int -> strategy:strategy -> unit -> t
-(** @raise Invalid_argument if [max_write < 3] (at least a constant load
+val create : ?max_write:int -> ?is_faulty:(int -> bool) -> strategy:strategy -> unit -> t
+(** [is_faulty] puts the allocator in fault-aware mode: physical device
+    indices it marks bad (e.g. a {!Plim_fault.Fault_model.cell_fault}
+    oracle from a known fault map) are skipped — they still occupy
+    address space and count toward {!total_allocated}, but are never
+    handed out, so the compiled program never touches them.
+    @raise Invalid_argument if [max_write < 3] (at least a constant load
     plus an RM3 must fit in any fresh device for compilation to make
     progress). *)
 
@@ -49,3 +54,6 @@ val write_counts : t -> int array
 (** Snapshot, length [total_allocated]. *)
 
 val free_count : t -> int
+
+val faulty_skipped : t -> int
+(** Devices skipped by the fault-aware mode (0 without [is_faulty]). *)

@@ -63,9 +63,11 @@ type result = {
   config : config;
 }
 
-let compile_rewritten config g =
+let compile_rewritten ?is_faulty config g =
   Obs.span "pipeline.compile_rewritten" @@ fun () ->
-  let alloc = Alloc.create ?max_write:config.max_write ~strategy:config.allocation () in
+  let alloc =
+    Alloc.create ?max_write:config.max_write ?is_faulty ~strategy:config.allocation ()
+  in
   let ctx = Translate.make_ctx ~dest_min_write:config.dest_min_write g alloc in
   Obs.span "pipeline.place_inputs" (fun () -> Translate.place_inputs ctx);
   let sel =
@@ -103,10 +105,10 @@ let compile_rewritten config g =
     write_summary = Stats.summarize (Alloc.write_counts alloc);
     config }
 
-let compile config mig =
+let compile ?is_faulty config mig =
   Obs.span "pipeline.compile" @@ fun () ->
   let g =
     Obs.span "pipeline.rewrite" (fun () ->
         Recipe.run config.rewriting ~effort:config.effort mig)
   in
-  compile_rewritten config g
+  compile_rewritten ?is_faulty config g

@@ -44,9 +44,13 @@ type result = {
   config : config;
 }
 
-val compile : config -> Mig.t -> result
+val compile : ?is_faulty:(int -> bool) -> config -> Mig.t -> result
+(** [is_faulty] enables the fault-aware allocation mode
+    ({!Alloc.create}): the compiled program avoids the marked physical
+    devices entirely, trading #R for fault immunity without runtime
+    remapping. *)
 
-val compile_rewritten : config -> Mig.t -> result
+val compile_rewritten : ?is_faulty:(int -> bool) -> config -> Mig.t -> result
 (** Like {!compile} but assumes the argument has already been rewritten
     (skips the rewriting phase) — used to share rewriting work across the
     many configurations of one benchmark. *)

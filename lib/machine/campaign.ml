@@ -5,6 +5,10 @@ module Start_gap = Plim_rram.Start_gap
 module Splitmix = Plim_util.Splitmix
 module Obs = Plim_obs.Obs
 module Metrics = Plim_obs.Metrics
+module Fault_model = Plim_fault.Fault_model
+module Faulty = Plim_fault.Faulty
+module Remap = Plim_fault.Remap
+module Exec = Plim_fault.Exec
 
 let m_campaigns = Metrics.counter "campaign.runs"
 let m_executions = Metrics.counter "campaign.executions"
@@ -17,7 +21,8 @@ type outcome = {
 
 (* One execution with a logical->physical mapping sampled per access and a
    per-logical-write notification.  Output values are not collected: the
-   campaign measures wear.  Raises [Failure] when a device dies. *)
+   campaign measures wear.  Raises [Crossbar.Cell_failed] when a device
+   dies. *)
 let execute_mapped (p : Program.t) xbar rng ~map ~on_write =
   Array.iter
     (fun (_, cell) -> Crossbar.load xbar (map cell) (Splitmix.bool rng))
@@ -50,7 +55,7 @@ let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ~physical_cells ~map ~
       | () ->
         Metrics.incr m_executions;
         go (completed + 1)
-      | exception Failure _ ->
+      | exception Crossbar.Cell_failed _ ->
         { executions_completed = completed;
           failed = true;
           write_total = total_writes xbar }
@@ -62,6 +67,111 @@ let run_until_failure ?seed ?max_executions ~endurance p =
     ~map:(fun _ cell -> cell)
     ~on_write:(fun _ _ -> ())
     ~endurance p
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: instead of dying at the first worn-out cell, the
+   campaign runs behind the fault layer — write-verify detects stuck
+   cells, the remapper retires them onto spares, and the run reports a
+   capacity curve plus result correctness until the spare pool is dry. *)
+
+type degradation_point = {
+  at_execution : int;
+  capacity : float;
+  spares_left : int;
+}
+
+type ended = Spares_exhausted of int | Max_executions
+
+type degradation = {
+  executions : int;
+  correct : int;
+  incorrect : int;
+  injected : int;
+  worn_out : int;
+  detections : int;
+  remaps : int;
+  verify_reads : int;
+  retries : int;
+  transient_failures : int;
+  final_capacity : float;
+  spares_remaining : int;
+  curve : degradation_point list;   (** chronological; one point per capacity change *)
+  degraded_write_total : int;
+  ended : ended;
+}
+
+let m_degraded = Metrics.counter "campaign.degraded_runs"
+
+let run_degraded ?(seed = 0xCAFE) ?(max_executions = 100) ?endurance ?(spares = 0)
+    ?(verify = true) ?(fault_spec = Fault_model.none) ?oracle (p : Program.t) =
+  Obs.span "campaign.degraded" @@ fun () ->
+  Metrics.incr m_degraded;
+  let lines = p.Program.num_cells in
+  let xbar = Crossbar.create ?endurance (lines + spares) in
+  let fx = Faulty.create ~spec:fault_spec xbar in
+  let rm = Remap.create ~spares ~lines () in
+  let rng = Splitmix.create seed in
+  let width = Array.length p.Program.pi_cells in
+  let correct = ref 0
+  and incorrect = ref 0
+  and stats = ref Exec.zero_stats
+  and curve = ref []
+  and last_capacity = ref (Faulty.capacity fx) in
+  let point at_execution =
+    curve :=
+      { at_execution; capacity = Faulty.capacity fx; spares_left = Remap.spares_left rm }
+      :: !curve
+  in
+  point 0;
+  let check vector outputs =
+    match oracle with
+    | None -> ()
+    | Some f ->
+      let expected = f vector in
+      let actual = Array.of_list (List.map snd outputs) in
+      if expected = actual then incr correct else incr incorrect
+  in
+  let rec go completed =
+    if completed >= max_executions then (completed, Max_executions)
+    else begin
+      let vector = Splitmix.bits rng ~width in
+      let inputs =
+        Array.to_list
+          (Array.mapi (fun i (name, _) -> (name, vector.(i))) p.Program.pi_cells)
+      in
+      let outcome, s = Exec.run ~verify fx rm p ~inputs in
+      stats := Exec.add_stats !stats s;
+      match outcome with
+      | Exec.Completed outputs ->
+        Metrics.incr m_executions;
+        check vector outputs;
+        if Faulty.capacity fx <> !last_capacity then begin
+          last_capacity := Faulty.capacity fx;
+          point (completed + 1)
+        end;
+        go (completed + 1)
+      | Exec.Out_of_spares l ->
+        last_capacity := Faulty.capacity fx;
+        point (completed + 1);
+        (completed, Spares_exhausted l)
+    end
+  in
+  let executions, ended = go 0 in
+  { executions;
+    correct = !correct;
+    incorrect = !incorrect;
+    injected = Faulty.injected fx;
+    worn_out = Faulty.worn_out fx;
+    detections = (!stats).Exec.detections;
+    remaps = (!stats).Exec.remaps;
+    verify_reads = (!stats).Exec.verify_reads;
+    retries = (!stats).Exec.retries;
+    transient_failures = Faulty.transient_failures fx;
+    final_capacity = Faulty.capacity fx;
+    spares_remaining = Remap.spares_left rm;
+    curve = List.rev !curve;
+    degraded_write_total = total_writes xbar;
+    ended }
 
 let run_with_start_gap ?seed ?max_executions ?psi ~endurance p =
   let n = p.Program.num_cells in

@@ -36,3 +36,59 @@ val run_with_start_gap :
     program's device addresses between executions: logical cell [l] of
     execution [k] lands on a rotating physical line, so hot logical cells
     spread across the array over time. *)
+
+(** {1 Graceful degradation}
+
+    Where {!run_until_failure} measures "time to first crash", the
+    degraded campaign runs the program behind the {!Plim_fault} layer:
+    injected stuck-at faults and endurance wear-out become detectable
+    stuck cells, write-verify spots them, and spare-line remapping keeps
+    the program running.  The result is a capacity/correctness
+    degradation profile instead of a single failure point. *)
+
+type degradation_point = {
+  at_execution : int;    (** executions completed when the point was taken *)
+  capacity : float;      (** surviving-capacity fraction, in [0, 1] *)
+  spares_left : int;
+}
+
+type ended =
+  | Spares_exhausted of int  (** logical cell whose repair found no spare *)
+  | Max_executions
+
+type degradation = {
+  executions : int;          (** executions fully completed *)
+  correct : int;             (** executions whose outputs matched the oracle *)
+  incorrect : int;
+  injected : int;            (** permanent faults present at start *)
+  worn_out : int;            (** cells that wore out during the campaign *)
+  detections : int;          (** permanent-fault detections by write-verify *)
+  remaps : int;              (** successful spare-line remaps *)
+  verify_reads : int;        (** read-backs performed (the verify overhead) *)
+  retries : int;             (** in-place rewrite attempts *)
+  transient_failures : int;  (** write pulses that failed to switch *)
+  final_capacity : float;
+  spares_remaining : int;
+  curve : degradation_point list;  (** chronological capacity curve *)
+  degraded_write_total : int;      (** physical writes, including repair traffic *)
+  ended : ended;
+}
+
+val run_degraded :
+  ?seed:int ->
+  ?max_executions:int ->
+  ?endurance:int ->
+  ?spares:int ->
+  ?verify:bool ->
+  ?fault_spec:Plim_fault.Fault_model.spec ->
+  ?oracle:(bool array -> bool array) ->
+  Program.t ->
+  degradation
+(** [run_degraded p] executes [p] repeatedly with fresh random inputs on
+    one shared crossbar of [num_cells + spares] physical lines wrapped in
+    the fault layer.  [max_executions] defaults to 100, [spares] to 0,
+    [verify] to on, [fault_spec] to {!Plim_fault.Fault_model.none}; with
+    [endurance] cells additionally wear out and hard-fail as stuck-at
+    faults.  [oracle] maps an input vector (PI declaration order) to the
+    expected outputs (PO order) — typically [Plim_mig.Mig.eval mig] — and
+    feeds the [correct]/[incorrect] tally; without it both stay 0. *)

@@ -41,7 +41,8 @@ val run :
 
     @raise Invalid_argument if [inputs] does not bind exactly the
     program's primary inputs.
-    @raise Failure if a cell hard-fails mid-run (only with [endurance]). *)
+    @raise Crossbar.Cell_failed if a cell hard-fails mid-run (only with
+    [endurance]). *)
 
 val run_vector :
   ?endurance:int -> Program.t -> bool array -> bool array

@@ -9,6 +9,8 @@ type t = {
   endurance : int option;
 }
 
+exception Cell_failed of int
+
 let m_writes = Metrics.counter "crossbar.writes"
 let m_reads = Metrics.counter "crossbar.reads"
 let m_loads = Metrics.counter "crossbar.loads"
@@ -41,10 +43,13 @@ let failed t i =
 
 let set_state t i b = Bytes.set t.state i (if b then '\001' else '\000')
 
+let peek t i =
+  check t i;
+  get t i
+
 let apply_write t i b =
   check t i;
-  if Bytes.get t.failed i <> '\000' then
-    failwith (Printf.sprintf "Crossbar: write to failed cell %d" i);
+  if Bytes.get t.failed i <> '\000' then raise (Cell_failed i);
   t.writes.(i) <- t.writes.(i) + 1;
   Metrics.incr m_writes;
   if get t i <> b then t.transitions.(i) <- t.transitions.(i) + 1;
@@ -71,8 +76,7 @@ let rm3 t ~p ~q i =
 
 let load t i b =
   check t i;
-  if Bytes.get t.failed i <> '\000' then
-    failwith (Printf.sprintf "Crossbar: load to failed cell %d" i);
+  if Bytes.get t.failed i <> '\000' then raise (Cell_failed i);
   Metrics.incr m_loads;
   set_state t i b
 

@@ -16,6 +16,12 @@
 
 type t
 
+exception Cell_failed of int
+(** Raised (with the cell index) by {!write}, {!rm3} and {!load} when the
+    addressed cell has exhausted its endurance budget and hard-failed.
+    Campaigns and the {!Plim_fault} layer catch it precisely instead of a
+    bare [Failure]. *)
+
 val create : ?endurance:int -> int -> t
 (** [create ?endurance n] is an array of [n] fresh cells in HRS (0). *)
 
@@ -23,9 +29,14 @@ val size : t -> int
 
 val read : t -> int -> bool
 
+val peek : t -> int -> bool
+(** Current state without counting a read in the metrics — an
+    observability back door for write-verify read-backs and fault
+    wrappers, not a modelled array operation. *)
+
 val write : t -> int -> bool -> unit
 (** Plain memory write (controller off).  Counts one write.
-    @raise Failure if the cell has hard-failed. *)
+    @raise Cell_failed if the cell has hard-failed. *)
 
 val rm3 : t -> p:bool -> q:bool -> int -> unit
 (** The intrinsic resistive-majority operation executed during a write
@@ -35,7 +46,8 @@ val rm3 : t -> p:bool -> q:bool -> int -> unit
 val load : t -> int -> bool -> unit
 (** Initialisation write used to deposit primary inputs before the
     computation starts; does not count toward write statistics (the paper
-    measures computation writes only). *)
+    measures computation writes only).
+    @raise Cell_failed if the cell has hard-failed. *)
 
 val writes : t -> int -> int
 val write_counts : t -> int array

@@ -1,7 +1,6 @@
 module Mig = Plim_mig.Mig
 module Mig_gen = Plim_mig.Mig_gen
 module Imp = Plim_imp.Imp
-module Start_gap = Plim_rram.Start_gap
 module Alloc = Plim_core.Alloc
 module Stats = Plim_stats.Stats
 
@@ -98,67 +97,8 @@ let test_imp_write_accounting () =
   Alcotest.(check (array int)) "dynamic = static" (Imp.static_write_counts p)
     (Plim_rram.Crossbar.write_counts xbar)
 
-(* --- start-gap wear levelling ------------------------------------------ *)
-
-let test_start_gap_mapping () =
-  let t = Start_gap.create ~psi:10 4 in
-  check_int "physical lines" 5 (Start_gap.num_physical t);
-  (* initially the identity (gap at the end) *)
-  for la = 0 to 3 do
-    check_int "identity map" la (Start_gap.physical t la)
-  done;
-  (* the mapping is always a bijection *)
-  for _ = 1 to 97 do
-    Start_gap.write t 1
-  done;
-  let seen = Array.make 5 false in
-  for la = 0 to 3 do
-    let pa = Start_gap.physical t la in
-    check_bool "in range" true (pa >= 0 && pa < 5);
-    check_bool "no collision" false seen.(pa);
-    seen.(pa) <- true
-  done
-
-let test_start_gap_moves () =
-  let t = Start_gap.create ~psi:5 4 in
-  for _ = 1 to 25 do
-    Start_gap.write t 0
-  done;
-  check_int "one move per psi writes" 5 (Start_gap.total_moves t)
-
-let test_start_gap_rotation_levels_hot_line () =
-  (* one scorching logical line; rotation spreads it over all physical
-     lines given enough executions *)
-  let per_exec = [| 100; 1; 1; 1 |] in
-  let counts = Start_gap.replay ~psi:10 ~executions:50 per_exec in
-  let s = Stats.summarize counts in
-  let unlevelled = Stats.summarize (Array.map (( * ) 50) per_exec) in
-  check_bool
-    (Printf.sprintf "rotated stdev %.1f < static stdev %.1f" s.Stats.stdev
-       unlevelled.Stats.stdev)
-    true
-    (s.Stats.stdev < unlevelled.Stats.stdev)
-
-let test_start_gap_write_conservation () =
-  let per_exec = [| 3; 0; 7; 2 |] in
-  let executions = 9 in
-  let counts = Start_gap.replay ~psi:4 ~executions per_exec in
-  let logical_total = executions * Array.fold_left ( + ) 0 per_exec in
-  let physical_total = Array.fold_left ( + ) 0 counts in
-  (* extra writes are exactly the gap-copy moves *)
-  check_bool "rotation overhead bounded by 1/psi + wraps" true
-    (physical_total >= logical_total
-    && physical_total <= logical_total + (logical_total / 4) + 1)
-
-let test_start_gap_validation () =
-  Alcotest.check_raises "empty" (Invalid_argument "Start_gap.create: need at least one line")
-    (fun () -> ignore (Start_gap.create 0));
-  Alcotest.check_raises "bad psi" (Invalid_argument "Start_gap.create: psi must be positive")
-    (fun () -> ignore (Start_gap.create ~psi:0 4));
-  let t = Start_gap.create 4 in
-  Alcotest.check_raises "address range"
-    (Invalid_argument "Start_gap.physical: address out of range") (fun () ->
-      ignore (Start_gap.physical t 4))
+(* start-gap wear levelling tests live in test_rram.ml with the rest of
+   the RRAM layer *)
 
 let qc = QCheck_alcotest.to_alcotest
 
@@ -171,11 +111,4 @@ let () =
           Alcotest.test_case "IMP vs RM3 (Section II)" `Quick test_imp_vs_rm3;
           Alcotest.test_case "write accounting" `Quick test_imp_write_accounting;
           qc imp_correct;
-          qc imp_min_write_correct ] );
-      ( "start-gap",
-        [ Alcotest.test_case "mapping is a bijection" `Quick test_start_gap_mapping;
-          Alcotest.test_case "gap movement cadence" `Quick test_start_gap_moves;
-          Alcotest.test_case "rotation levels a hot line" `Quick
-            test_start_gap_rotation_levels_hot_line;
-          Alcotest.test_case "write conservation" `Quick test_start_gap_write_conservation;
-          Alcotest.test_case "validation" `Quick test_start_gap_validation ] ) ]
+          qc imp_min_write_correct ] ) ]

@@ -117,7 +117,7 @@ let test_wearout_execution () =
     (try
        ignore (Controller.run ~endurance:budget naive ~inputs:(Array.to_list inputs));
        false
-     with Failure _ -> true)
+     with Plim_rram.Crossbar.Cell_failed _ -> true)
 
 (* cross-check machine cycle accounting on a compiled program *)
 let test_cycle_accounting () =

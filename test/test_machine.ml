@@ -100,7 +100,7 @@ let test_run_vector () =
 
 let test_endurance_mid_run () =
   (* a 2-write program against a 1-write budget must fail *)
-  Alcotest.check_raises "wear-out" (Failure "Crossbar: write to failed cell 1") (fun () ->
+  Alcotest.check_raises "wear-out" (Plim_rram.Crossbar.Cell_failed 1) (fun () ->
       ignore (Controller.run ~endurance:1 (not_program ()) ~inputs:[ ("a", true) ]))
 
 (* --- self-hosted execution -------------------------------------------------- *)

@@ -1,4 +1,6 @@
 module Crossbar = Plim_rram.Crossbar
+module Start_gap = Plim_rram.Start_gap
+module Stats = Plim_stats.Stats
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -45,8 +47,8 @@ let test_endurance_failure () =
   Crossbar.write x 0 true;
   check_bool "failed at budget" true (Crossbar.failed x 0);
   check_int "one failed cell" 1 (Crossbar.num_failed x);
-  Alcotest.check_raises "write to failed cell" (Failure "Crossbar: write to failed cell 0")
-    (fun () -> Crossbar.write x 0 true)
+  Alcotest.check_raises "write to failed cell" (Crossbar.Cell_failed 0) (fun () ->
+      Crossbar.write x 0 true)
 
 let test_reset_counters () =
   let x = Crossbar.create 2 in
@@ -77,6 +79,107 @@ let write_accounting =
         ops;
       Crossbar.write_counts x = expected)
 
+(* --- start-gap wear levelling ------------------------------------------ *)
+
+let test_start_gap_mapping () =
+  let t = Start_gap.create ~psi:10 4 in
+  check_int "physical lines" 5 (Start_gap.num_physical t);
+  (* initially the identity (gap at the end) *)
+  for la = 0 to 3 do
+    check_int "identity map" la (Start_gap.physical t la)
+  done;
+  (* the mapping is always a bijection *)
+  for _ = 1 to 97 do
+    Start_gap.write t 1
+  done;
+  let seen = Array.make 5 false in
+  for la = 0 to 3 do
+    let pa = Start_gap.physical t la in
+    check_bool "in range" true (pa >= 0 && pa < 5);
+    check_bool "no collision" false seen.(pa);
+    seen.(pa) <- true
+  done
+
+let test_start_gap_moves () =
+  let t = Start_gap.create ~psi:5 4 in
+  for _ = 1 to 25 do
+    Start_gap.write t 0
+  done;
+  check_int "one move per psi writes" 5 (Start_gap.total_moves t)
+
+let test_start_gap_wraparound () =
+  (* psi = 1: every write moves the gap; after n + 1 moves the gap has
+     walked the whole array, wrapped back to the top, and advanced the
+     start register — the address space is rotated by one line *)
+  let t = Start_gap.create ~psi:1 4 in
+  for _ = 1 to 4 do
+    Start_gap.write t 0
+  done;
+  check_int "gap reached the bottom" 0 (Start_gap.gap_line t);
+  Start_gap.write t 0;
+  check_int "gap wrapped to the top" 4 (Start_gap.gap_line t);
+  check_int "five moves" 5 (Start_gap.total_moves t);
+  check_int "logical 0 rotated down" 1 (Start_gap.physical t 0);
+  check_int "logical 3 wrapped around" 0 (Start_gap.physical t 3);
+  let seen = Array.make 5 false in
+  for la = 0 to 3 do
+    let pa = Start_gap.physical t la in
+    check_bool "still a bijection" false seen.(pa);
+    seen.(pa) <- true
+  done
+
+let test_start_gap_rotation_levels_hot_line () =
+  (* one scorching logical line; rotation spreads it over all physical
+     lines given enough executions *)
+  let per_exec = [| 100; 1; 1; 1 |] in
+  let counts = Start_gap.replay ~psi:10 ~executions:50 per_exec in
+  let s = Stats.summarize counts in
+  let unlevelled = Stats.summarize (Array.map (( * ) 50) per_exec) in
+  check_bool
+    (Printf.sprintf "rotated stdev %.1f < static stdev %.1f" s.Stats.stdev
+       unlevelled.Stats.stdev)
+    true
+    (s.Stats.stdev < unlevelled.Stats.stdev)
+
+let test_start_gap_write_conservation () =
+  let per_exec = [| 3; 0; 7; 2 |] in
+  let executions = 9 in
+  let counts = Start_gap.replay ~psi:4 ~executions per_exec in
+  let logical_total = executions * Array.fold_left ( + ) 0 per_exec in
+  let physical_total = Array.fold_left ( + ) 0 counts in
+  (* extra writes are exactly the gap-copy moves *)
+  check_bool "rotation overhead bounded by 1/psi + wraps" true
+    (physical_total >= logical_total
+    && physical_total <= logical_total + (logical_total / 4) + 1)
+
+let test_start_gap_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Start_gap.create: need at least one line")
+    (fun () -> ignore (Start_gap.create 0));
+  Alcotest.check_raises "bad psi" (Invalid_argument "Start_gap.create: psi must be positive")
+    (fun () -> ignore (Start_gap.create ~psi:0 4));
+  let t = Start_gap.create 4 in
+  Alcotest.check_raises "address range"
+    (Invalid_argument "Start_gap.physical: address out of range") (fun () ->
+      ignore (Start_gap.physical t 4))
+
+(* property: whatever the write sequence, the logical->physical map stays a
+   bijection onto the physical lines minus the gap *)
+let start_gap_bijective =
+  QCheck.Test.make ~count:200
+    ~name:"start-gap map is a bijection under arbitrary writes"
+    QCheck.(triple (int_range 1 9) (int_range 1 8) (list (int_range 0 10_000)))
+    (fun (n, psi, writes) ->
+      let t = Start_gap.create ~psi n in
+      List.iter (fun w -> Start_gap.write t (w mod n)) writes;
+      let seen = Array.make (Start_gap.num_physical t) false in
+      let ok = ref true in
+      for la = 0 to n - 1 do
+        let pa = Start_gap.physical t la in
+        if pa < 0 || pa > n || seen.(pa) then ok := false else seen.(pa) <- true
+      done;
+      (* the one physical line left unmapped is exactly the gap *)
+      !ok && not seen.(Start_gap.gap_line t))
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -89,4 +192,14 @@ let () =
           Alcotest.test_case "endurance failure" `Quick test_endurance_failure;
           Alcotest.test_case "reset counters" `Quick test_reset_counters;
           Alcotest.test_case "bounds" `Quick test_bounds;
-          qc write_accounting ] ) ]
+          qc write_accounting ] );
+      ( "start-gap",
+        [ Alcotest.test_case "mapping is a bijection" `Quick test_start_gap_mapping;
+          Alcotest.test_case "gap movement cadence" `Quick test_start_gap_moves;
+          Alcotest.test_case "gap wraparound rotates the space" `Quick
+            test_start_gap_wraparound;
+          Alcotest.test_case "rotation levels a hot line" `Quick
+            test_start_gap_rotation_levels_hot_line;
+          Alcotest.test_case "write conservation" `Quick test_start_gap_write_conservation;
+          Alcotest.test_case "validation" `Quick test_start_gap_validation;
+          qc start_gap_bijective ] ) ]
