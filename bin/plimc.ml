@@ -487,6 +487,120 @@ let faults_cmd =
       $ selection_arg $ allocation_arg $ inject $ spares $ verify_writes $ seed
       $ executions $ endurance $ avoid $ trace_arg $ metrics_arg $ profile_flag_arg)
 
+(* ---------------------------------------------------------------- *)
+(* fuzz: differential conformance fuzzing with a persisted corpus. *)
+
+let print_counterexample (cex : Plim_check.Fuzz.counterexample) =
+  Printf.printf "\ncounterexample (case %d, case-seed %d, %d shrink steps):\n"
+    cex.Plim_check.Fuzz.run_index cex.Plim_check.Fuzz.case_seed
+    cex.Plim_check.Fuzz.shrink_steps;
+  print_string (Plim_check.Gen.print cex.Plim_check.Fuzz.desc);
+  List.iter
+    (fun f -> Printf.printf "  %s\n" (Plim_check.Check.failure_to_string f))
+    cex.Plim_check.Fuzz.failures;
+  (match cex.Plim_check.Fuzz.path with
+  | Some path ->
+    Printf.printf "  saved to %s (replayed by dune runtest; rerun with 'plimc fuzz \
+                   --replay %s')\n"
+      path path
+  | None -> ());
+  Printf.printf "  regenerate with 'plimc fuzz --case-seed %d'\n"
+    cex.Plim_check.Fuzz.case_seed
+
+let fuzz_run runs seed max_inputs max_nodes corpus no_save no_shrink case_seed replay
+    trace metrics profile =
+  with_obs ~trace ~metrics ~profile @@ fun () ->
+  match replay with
+  | Some path ->
+    let g = Plim_check.Corpus.load_file path in
+    (match Plim_check.Check.run g with
+    | [] -> Printf.printf "%s: conformance ok\n" path
+    | failures ->
+      Printf.printf "%s: %d failures\n" path (List.length failures);
+      List.iter
+        (fun f -> Printf.printf "  %s\n" (Plim_check.Check.failure_to_string f))
+        failures;
+      exit 1)
+  | None ->
+    let options =
+      { Plim_check.Fuzz.runs;
+        seed;
+        max_inputs;
+        max_nodes;
+        max_outputs = 4;
+        corpus_dir = (if no_save then None else Some corpus);
+        shrink = not no_shrink }
+    in
+    let case_seeds = Option.map (fun s -> [ s ]) case_seed in
+    let on_case i =
+      if i > 0 && i mod 50 = 0 then Printf.eprintf "fuzz: %d/%d cases\n%!" i runs
+    in
+    let report = Plim_check.Fuzz.run ?case_seeds ~on_case options in
+    let n = List.length report.Plim_check.Fuzz.counterexamples in
+    Printf.printf "fuzz: %d cases (seed %d, <=%d inputs, <=%d nodes): %d counterexample%s\n"
+      report.Plim_check.Fuzz.cases seed max_inputs max_nodes n
+      (if n = 1 then "" else "s");
+    List.iter print_counterexample report.Plim_check.Fuzz.counterexamples;
+    if n > 0 then exit 1
+
+let fuzz_cmd =
+  let runs =
+    Arg.(value & opt int 200
+         & info [ "runs" ] ~docv:"N" ~doc:"Number of random MIGs to check.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Campaign master seed; the case sequence is a pure function of it.")
+  in
+  let max_inputs =
+    Arg.(value & opt int 6
+         & info [ "max-inputs" ] ~docv:"N"
+             ~doc:"Upper bound on primary inputs per generated MIG (<= 8 keeps the \
+                   functional check exhaustive).")
+  in
+  let max_nodes =
+    Arg.(value & opt int 32
+         & info [ "max-nodes" ] ~docv:"N"
+             ~doc:"Upper bound on majority nodes per generated MIG.")
+  in
+  let corpus =
+    Arg.(value & opt string "test/corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory where shrunk counterexamples are persisted.")
+  in
+  let no_save =
+    Arg.(value & flag
+         & info [ "no-save" ] ~doc:"Do not persist counterexamples to the corpus.")
+  in
+  let no_shrink =
+    Arg.(value & flag
+         & info [ "no-shrink" ] ~doc:"Report raw counterexamples without shrinking.")
+  in
+  let case_seed =
+    Arg.(value & opt (some int) None
+         & info [ "case-seed" ] ~docv:"S"
+             ~doc:"Check the single case this derived seed generates (printed with \
+                   every counterexample), instead of a full campaign.")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Run the conformance suite on one corpus entry (.mig file) and exit.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: generate random MIGs, compile each under \
+          the full configuration matrix (rewriting x write strategies x selection x \
+          cap x fault-aware allocation), check every program against MIG evaluation \
+          (exhaustive + symbolic), cross-validate write counts and the node-selection \
+          heap against a naive reference, shrink failures to minimal witnesses and \
+          persist them in the regression corpus.")
+    Term.(
+      const fuzz_run $ runs $ seed $ max_inputs $ max_nodes $ corpus $ no_save
+      $ no_shrink $ case_seed $ replay $ trace_arg $ metrics_arg $ profile_flag_arg)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -522,7 +636,7 @@ let main =
   Cmd.group
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
-    [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; profile_cmd;
-      selftest_cmd ]
+    [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; fuzz_cmd;
+      profile_cmd; selftest_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,68 @@
+(** Differential conformance checking of the whole compiler stack.
+
+    One MIG is compiled under a matrix of configurations (rewrite recipe
+    on/off × write-count strategies × selection policies × write cap ×
+    fault-aware allocation against a seeded fault map) and every program
+    is checked against direct MIG evaluation, plus cross-cutting
+    invariants:
+
+    - {b functional}: exhaustive machine execution for ≤ 8 inputs
+      ({!Plim_core.Verify.check_exhaustive}), sampled otherwise;
+    - {b symbolic}: complete BDD equivalence
+      ({!Plim_core.Verify.check_symbolic});
+    - {b write-counts}: statically derived per-cell write counts equal the
+      counts observed by the crossbar;
+    - {b write-cap}: under the maximum write count strategy no device
+      exceeds the cap (so a retired device is never written again);
+    - {b rewrite-function}: the rewritten MIG computes the same truth
+      tables as the source;
+    - {b fault-avoidance}: with fault-aware allocation the program never
+      reads or writes a device the fault map marks bad;
+    - {b selection-differential}: the incremental lazy-heap node selector
+      ({!Plim_core.Select}) pops exactly the sequence an independent
+      naive reference selector (linear argmin over live candidate keys)
+      produces, for every policy — the CONTRA-style cross-check that
+      catches heuristic-order bugs no functional test can see. *)
+
+module Mig = Plim_mig.Mig
+module Pipeline = Plim_core.Pipeline
+module Select = Plim_core.Select
+module Fault_model = Plim_fault.Fault_model
+
+type failure = {
+  config : string;     (** configuration name, or ["selection:<policy>"] *)
+  invariant : string;  (** which invariant broke (names above) *)
+  message : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+
+val default_matrix : Pipeline.config list
+(** Curated configurations covering every dimension: the five paper
+    presets, capped variants, FIFO allocation and the destination
+    min-write ablation. *)
+
+val default_fault_spec : Fault_model.spec
+(** Seeded stuck-at map (≈8% faulty cells) for the fault-aware column. *)
+
+val check_config :
+  ?fault_spec:Fault_model.spec -> Pipeline.config -> Mig.t -> failure list
+(** Compile under one configuration (fault-aware when [fault_spec] is
+    given) and run every per-program invariant. *)
+
+val reference_order : Select.policy -> Mig.t -> int list
+(** Naive re-implementation of the selection semantics: recompute every
+    candidate key on every pop and take the argmin.  The oracle of the
+    selection-differential check. *)
+
+val selection_failures : Mig.t -> failure list
+
+val run :
+  ?matrix:Pipeline.config list ->
+  ?fault_specs:Fault_model.spec list ->
+  Mig.t ->
+  failure list
+(** The full conformance suite: every matrix configuration, the
+    fault-aware variants, and the selection differential.  An empty list
+    means the MIG compiles correctly everywhere. *)

@@ -1,0 +1,51 @@
+module Mig = Plim_mig.Mig
+module Mig_io = Plim_mig.Mig_io
+
+let digest_string s =
+  (* FNV-1a 64-bit *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let digest mig = digest_string (Mig_io.to_string mig)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ())
+  end
+
+let save ~dir ?(meta = []) mig =
+  mkdir_p dir;
+  let body = Mig_io.to_string mig in
+  let path = Filename.concat dir (Printf.sprintf "cex-%s.mig" (digest_string body)) in
+  if not (Sys.file_exists path) then begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "# plim-corpus v1\n";
+        List.iter
+          (fun line ->
+            (* keep metadata one-line so the parser's comment filter holds *)
+            let line = String.map (fun c -> if c = '\n' then ' ' else c) line in
+            output_string oc ("# " ^ line ^ "\n"))
+          meta;
+        output_string oc body)
+  end;
+  path
+
+let load_file path = Mig_io.read_file path
+
+let entries dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    let files = Array.to_list files in
+    List.filter (fun f -> Filename.check_suffix f ".mig") files
+    |> List.sort compare
+    |> List.map (fun f -> (f, load_file (Filename.concat dir f)))

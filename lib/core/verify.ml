@@ -54,22 +54,33 @@ let check_write_counts (program : Program.t) (xbar : Crossbar.t) =
     | None -> Ok ()
   end
 
+let vector_to_string vector =
+  String.init (Array.length vector) (fun i -> if vector.(i) then '1' else '0')
+
+(* Determinism contract: the vector stream is a pure function of [seed]
+   (one splitmix64 stream, no global [Random] state anywhere below this
+   point), and every failure message embeds the seed and the failing
+   vector — same seed, byte-identical message. *)
 let check_random ?(trials = 32) ?(seed = 0x5eed) mig program =
   let rng = Splitmix.create seed in
   let n = Mig.num_inputs mig in
   let rec go t =
-    if t = 0 then Ok ()
+    if t >= trials then Ok ()
     else begin
       let vector = Splitmix.bits rng ~width:n in
+      let witness e =
+        Printf.sprintf "seed 0x%X trial %d vector %s: %s" seed t
+          (vector_to_string vector) e
+      in
       match run_and_compare mig program vector with
-      | Error e -> Error (Printf.sprintf "trial %d: %s" (trials - t) e)
+      | Error e -> Error (witness e)
       | Ok xbar ->
         (match check_write_counts program xbar with
-        | Error e -> Error e
-        | Ok () -> go (t - 1))
+        | Error e -> Error (witness e)
+        | Ok () -> go (t + 1))
     end
   in
-  go trials
+  go 0
 
 let check_symbolic ?order mig (program : Program.t) =
   let module Bdd = Plim_logic.Bdd in

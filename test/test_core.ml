@@ -1,5 +1,6 @@
 module Mig = Plim_mig.Mig
 module Mig_gen = Plim_mig.Mig_gen
+module Gen = Plim_check.Gen
 module Alloc = Plim_core.Alloc
 module Select = Plim_core.Select
 module Pipeline = Plim_core.Pipeline
@@ -101,13 +102,17 @@ let test_alloc_lifo_needed_preserves_order () =
 
 (* --- selection ------------------------------------------------------------ *)
 
+(* structurally generated MIGs: a failing property shrinks to a minimal
+   graph instead of an opaque integer seed *)
+let desc_arb = Gen.arbitrary ~max_inputs:6 ~max_nodes:40 ~max_outputs:4 ()
+
 (* topological validity: every policy computes children before parents *)
 let pop_order_is_topological policy =
   QCheck.Test.make ~count:50
     ~name:(Printf.sprintf "%s pops children first" (Select.policy_name policy))
-    QCheck.small_int
-    (fun seed ->
-      let g = Mig_gen.random ~seed ~num_inputs:5 ~num_nodes:40 ~num_outputs:3 () in
+    desc_arb
+    (fun d ->
+      let g = Gen.to_mig d in
       let fanout = Mig.fanout_counts g in
       let out_refs = Mig.output_refs g in
       let pending = Array.init (Mig.num_nodes g) (fun i -> fanout.(i) + out_refs.(i)) in
@@ -193,29 +198,28 @@ let all_configs =
 let compile_correct config =
   QCheck.Test.make ~count:25
     ~name:(Printf.sprintf "compile[%s] is functionally correct" (Pipeline.config_name config))
-    QCheck.small_int
-    (fun seed ->
-      let g = Mig_gen.random ~seed ~num_inputs:6 ~num_nodes:60 ~num_outputs:5 () in
+    desc_arb
+    (fun d ->
+      let g = Gen.to_mig d in
       let r = Pipeline.compile config g in
-      match Verify.check_random ~trials:6 ~seed g r.Pipeline.program with
+      match Verify.check_random ~trials:6 ~seed:0xC0DE g r.Pipeline.program with
       | Ok () -> true
       | Error e -> QCheck.Test.fail_reportf "%s" e)
 
 let cap_respected =
   QCheck.Test.make ~count:30 ~name:"max-write cap bounds every device"
-    (QCheck.pair QCheck.small_int (QCheck.int_range 3 12))
-    (fun (seed, cap) ->
-      let g = Mig_gen.random ~seed ~num_inputs:6 ~num_nodes:60 ~num_outputs:5 () in
+    (QCheck.pair desc_arb (QCheck.int_range 3 12))
+    (fun (d, cap) ->
+      let g = Gen.to_mig d in
       let r = Pipeline.compile (Pipeline.with_cap cap Pipeline.endurance_full) g in
       let writes = Program.static_write_counts r.Pipeline.program in
       Array.for_all (fun w -> w <= cap) writes)
 
 let summary_matches_program =
   QCheck.Test.make ~count:30 ~name:"write summary equals program static counts"
-    QCheck.small_int
-    (fun seed ->
-      let g = Mig_gen.random ~seed ~num_inputs:5 ~num_nodes:40 ~num_outputs:4 () in
-      let r = Pipeline.compile Pipeline.endurance_full g in
+    desc_arb
+    (fun d ->
+      let r = Pipeline.compile Pipeline.endurance_full (Gen.to_mig d) in
       let s = Stats.summarize (Program.static_write_counts r.Pipeline.program) in
       s = r.Pipeline.write_summary)
 
@@ -245,6 +249,31 @@ let test_verify_detects_corruption () =
   check_bool "corruption detected" true
     (match Verify.check_exhaustive g corrupted with Ok () -> false | Error _ -> true)
 
+let test_check_random_deterministic () =
+  (* the randomized verifier is a pure function of its seed: two runs on
+     the same (broken) program must produce byte-identical witnesses *)
+  let g = Plim_benchgen.Arith.adder ~width:3 in
+  let p = (Pipeline.compile Pipeline.naive g).Pipeline.program in
+  let bad = Array.copy p.Program.instrs in
+  bad.(Array.length bad - 1) <- I.set_const true p.Program.instrs.(Array.length bad - 1).I.z;
+  let corrupted =
+    Program.make ~instrs:bad ~num_cells:p.Program.num_cells ~pi_cells:p.Program.pi_cells
+      ~po_cells:p.Program.po_cells
+  in
+  let witness seed =
+    match Verify.check_random ~trials:32 ~seed g corrupted with
+    | Ok () -> Alcotest.failf "seed 0x%X failed to detect the corruption" seed
+    | Error e -> e
+  in
+  Alcotest.(check string) "same seed, same witness" (witness 0xD5EED) (witness 0xD5EED);
+  check_bool "witness names its seed" true
+    (let e = witness 0xD5EED in
+     (* substring search: the message embeds the seed for replay *)
+     let needle = "seed 0xD5EED" in
+     let ln = String.length needle and le = String.length e in
+     let rec scan i = i + ln <= le && (String.sub e i ln = needle || scan (i + 1)) in
+     scan 0)
+
 let test_config_names () =
   Alcotest.(check string) "naive" "naive" (Pipeline.config_name Pipeline.naive);
   Alcotest.(check string) "endurance-full" "endurance-full"
@@ -270,17 +299,19 @@ let test_pi_po_maps () =
 
 (* --- symbolic (BDD) verification -------------------------------------------- *)
 
-let test_symbolic_small_random () =
-  for seed = 1 to 10 do
-    let g = Mig_gen.random ~seed ~num_inputs:7 ~num_nodes:60 ~num_outputs:5 () in
-    List.iter
-      (fun config ->
-        let r = Pipeline.compile config g in
-        match Verify.check_symbolic g r.Pipeline.program with
-        | Ok () -> ()
-        | Error e -> Alcotest.failf "seed %d, %s: %s" seed (Pipeline.config_name config) e)
-      [ Pipeline.naive; Pipeline.endurance_full ]
-  done
+let symbolic_random =
+  QCheck.Test.make ~count:15 ~name:"random MIGs verify symbolically, all cells"
+    (Gen.arbitrary ~max_inputs:7 ~max_nodes:60 ())
+    (fun d ->
+      let g = Gen.to_mig d in
+      List.iter
+        (fun config ->
+          let r = Pipeline.compile config g in
+          match Verify.check_symbolic g r.Pipeline.program with
+          | Ok () -> ()
+          | Error e -> QCheck.Test.fail_reportf "%s: %s" (Pipeline.config_name config) e)
+        [ Pipeline.naive; Pipeline.endurance_full ];
+      true)
 
 let test_symbolic_wide_adder () =
   (* 32-bit adder: 64 inputs — far beyond truth tables, linear as a BDD
@@ -405,9 +436,9 @@ let test_passthrough_output () =
    instruction *)
 let instruction_lower_bound =
   QCheck.Test.make ~count:50 ~name:"#I >= reachable majority nodes"
-    QCheck.small_int
-    (fun seed ->
-      let g = Mig_gen.random ~seed ~num_inputs:6 ~num_nodes:50 ~num_outputs:4 () in
+    desc_arb
+    (fun d ->
+      let g = Gen.to_mig d in
       let r = Pipeline.compile Pipeline.naive g in
       Program.length r.Pipeline.program >= Mig.size g)
 
@@ -451,13 +482,14 @@ let () =
             Alcotest.test_case "exhaustive adder, all presets" `Quick test_exhaustive_small;
             Alcotest.test_case "verifier detects corruption" `Quick
               test_verify_detects_corruption;
+            Alcotest.test_case "check_random is seed-deterministic" `Quick
+              test_check_random_deterministic;
             Alcotest.test_case "config names" `Quick test_config_names;
             Alcotest.test_case "pi/po maps" `Quick test_pi_po_maps;
             Alcotest.test_case "min-write <= lifo (avg stdev)" `Slow
               test_min_write_beats_lifo_on_average ] );
       ( "symbolic",
-        [ Alcotest.test_case "random MIGs, all cells symbolic" `Quick
-            test_symbolic_small_random;
+        [ qc symbolic_random;
           Alcotest.test_case "32-bit adder, complete proof" `Quick test_symbolic_wide_adder;
           Alcotest.test_case "catches corruption" `Quick test_symbolic_catches_corruption ]
       );

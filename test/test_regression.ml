@@ -76,6 +76,21 @@ let check (name, tag, instrs, cells, stdev) () =
   Alcotest.(check (float 1e-4)) "write stdev" stdev
     r.Pipeline.write_summary.Stats.stdev
 
+(* Counterexample corpus replay: every MIG the fuzzer ever shrank (plus
+   the hand-minimized seeds) goes through the full conformance suite on
+   every run — a bug found once by fuzzing can never come back. *)
+let corpus_tests =
+  List.map
+    (fun (name, mig) ->
+      Alcotest.test_case name `Quick (fun () ->
+          match Plim_check.Check.run mig with
+          | [] -> ()
+          | failures ->
+            Alcotest.failf "%d conformance failures:\n%s" (List.length failures)
+              (String.concat "\n"
+                 (List.map Plim_check.Check.failure_to_string failures))))
+    (Plim_check.Corpus.entries "corpus")
+
 let () =
   Alcotest.run "regression"
     [ ( "pins",
@@ -84,4 +99,5 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "%s/%s" name (tag_name tag))
               `Quick (check row))
-          baselines ) ]
+          baselines );
+      ("corpus", corpus_tests) ]
