@@ -26,12 +26,35 @@ module Obs = Plim_obs.Obs
 module Profile = Plim_obs.Profile
 module Fault_model = Plim_fault.Fault_model
 module Campaign = Plim_machine.Campaign
+module Par = Plim_par
 
 let caps = [ 10; 20; 50; 100 ]
 
 (* ------------------------------------------------------------------ *)
+(* Execution knobs shared by every subcommand: the domain pool behind
+   [-j N], the table suite, and the determinism switches.  Tables and
+   latest.json are byte-identical at every -j level; --deterministic
+   additionally zeroes the two wall-clock fields of latest.json
+   (generated_at, phase totals) so whole files diff clean. *)
+
+let pool : Par.t option ref = ref None
+
+let pmap f xs = match !pool with Some p -> Par.map p ~f xs | None -> List.map f xs
+
+let pool_jobs () = match !pool with Some p -> Par.jobs p | None -> 1
+
+let deterministic = ref false
+
+let results_path = ref "bench/results/latest.json"
+
+let suite = ref Suite.all
+
+(* ------------------------------------------------------------------ *)
 (* Experiment cache: per benchmark, rewrite twice and compile once per
-   configuration; every table reads from here. *)
+   configuration; every table reads from here.  Parallel campaigns compute
+   off-cache ([compute_benchmark]) and fill the cache at the merge, so the
+   table only sees results in suite order and the Hashtbl is only touched
+   from the submitting domain. *)
 
 type bench_results = {
   spec : Suite.spec;
@@ -45,39 +68,52 @@ type bench_results = {
 
 let cache : (string, bench_results) Hashtbl.t = Hashtbl.create 32
 
+let compute_benchmark spec =
+  let g = Suite.build_cached spec in
+  let g1 = Recipe.run Recipe.Algorithm1 ~effort:5 g in
+  let g2 = Recipe.run Recipe.Algorithm2 ~effort:5 g in
+  let base recipe_graph config = Pipeline.compile_rewritten config recipe_graph in
+  { spec;
+    naive = base g Pipeline.naive;
+    dac16 = base g1 Pipeline.dac16;
+    min_write = base g1 Pipeline.min_write;
+    endurance_rewrite = base g2 Pipeline.endurance_rewrite;
+    endurance_full = base g2 Pipeline.endurance_full;
+    capped =
+      (* nested per-cap sweep: the helping join makes this safe on the
+         same pool that runs the per-benchmark fan-out *)
+      pmap
+        (fun cap -> (cap, base g2 (Pipeline.with_cap cap Pipeline.endurance_full)))
+        caps }
+
 let run_benchmark spec =
   match Hashtbl.find_opt cache spec.Suite.name with
   | Some r -> r
   | None ->
-    let g = Suite.build_cached spec in
-    let g1 = Recipe.run Recipe.Algorithm1 ~effort:5 g in
-    let g2 = Recipe.run Recipe.Algorithm2 ~effort:5 g in
-    let base recipe_graph config = Pipeline.compile_rewritten config recipe_graph in
-    let r =
-      { spec;
-        naive = base g Pipeline.naive;
-        dac16 = base g1 Pipeline.dac16;
-        min_write = base g1 Pipeline.min_write;
-        endurance_rewrite = base g2 Pipeline.endurance_rewrite;
-        endurance_full = base g2 Pipeline.endurance_full;
-        capped =
-          List.map
-            (fun cap -> (cap, base g2 (Pipeline.with_cap cap Pipeline.endurance_full)))
-            caps }
-    in
+    let r = compute_benchmark spec in
     Hashtbl.replace cache spec.Suite.name r;
     r
 
 let all_results () =
-  List.map
-    (fun spec ->
-      Printf.eprintf "[bench] %s...\n%!" spec.Suite.name;
-      Obs.span ("bench." ^ spec.Suite.name) (fun () -> run_benchmark spec))
-    Suite.all
+  let t0 = Unix.gettimeofday () in
+  let results =
+    pmap
+      (fun spec ->
+        Printf.eprintf "[bench] %s...\n%!" spec.Suite.name;
+        Obs.span ("bench." ^ spec.Suite.name) (fun () -> compute_benchmark spec))
+      !suite
+  in
+  List.iter (fun r -> Hashtbl.replace cache r.spec.Suite.name r) results;
+  Printf.eprintf "[bench] table campaign wall-clock: %.2f s (-j %d, %d benchmarks)\n%!"
+    (Unix.gettimeofday () -. t0)
+    (pool_jobs ()) (List.length results);
+  results
 
 let impr baseline v = Stats.improvement_pct ~baseline v
 
-let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+(* 0.0 on [], never 0/0 = nan: an empty benchmark selection must not leak
+   NaN into the AVG rows or latest.json *)
+let avg = Stats.mean_list
 
 (* ------------------------------------------------------------------ *)
 (* Table I: write-traffic statistics of the endurance techniques. *)
@@ -145,7 +181,8 @@ let table2 results =
       Printf.printf "%-10s %4d/%-4d  %9d %8d  %11d %8d  %15d %8d\n" r.spec.Suite.name
         r.spec.Suite.pi r.spec.Suite.po i0 r0 i1 r1 i2 r2)
     results;
-  let n = float_of_int (List.length results) in
+  (* max 1: an empty selection prints a zero AVG row instead of NaN *)
+  let n = float_of_int (max 1 (List.length results)) in
   Printf.printf "%-10s %9s  %9.1f %8.1f  %11.1f %8.1f  %15.1f %8.1f\n" "AVG" ""
     (float_of_int sums.(0) /. n)
     (float_of_int sums.(1) /. n)
@@ -186,11 +223,11 @@ let table3 results =
         r.capped;
       print_newline ())
     results;
-  let n = float_of_int (List.length results) in
+  let n = float_of_int (max 1 (List.length results)) in
   Printf.printf "%-10s %9s" "AVG" "";
   List.iter
     (fun cap ->
-      let i, r, s = Hashtbl.find sums cap in
+      let i, r, s = Hashtbl.find_opt sums cap |> Option.value ~default:(0, 0, 0.0) in
       Printf.printf " |     %9.1f %6.1f %7.2f" (float_of_int i /. n) (float_of_int r /. n)
         (s /. n))
     caps;
@@ -516,20 +553,27 @@ let faulttol () =
       | Ok () -> ()
       | Error e ->
         Printf.printf "  %s: fault-free verification FAILED: %s\n" name e);
+      (* every (rate, spares) campaign is independent; the sweep fans out
+         on the pool and returns cells in grid order, so printing, the
+         monotonicity self-check and the JSON rows below are identical at
+         every -j level *)
+      let cells =
+        Campaign.sweep_degraded ?pool:!pool ~seed:0xBE57 ~max_executions:execs
+          ~verify:true ~oracle:(Mig.eval g)
+          ~fault_spec_of:(fun rate ->
+            Fault_model.make ~sa0:(rate *. 2.0 /. 3.0) ~sa1:(rate /. 3.0)
+              ~seed:0xFA017 ())
+          ~rates ~spare_budgets:budgets p
+      in
+      let cell = Array.of_list cells in
+      let nb = List.length budgets in
       let prev_cap = Hashtbl.create 4 in
-      List.iter
-        (fun rate ->
+      List.iteri
+        (fun ri rate ->
           Printf.printf "%-10s %6.3f" name rate;
-          List.iter
-            (fun spares ->
-              let fault_spec =
-                Fault_model.make ~sa0:(rate *. 2.0 /. 3.0) ~sa1:(rate /. 3.0)
-                  ~seed:0xFA017 ()
-              in
-              let d =
-                Campaign.run_degraded ~seed:0xBE57 ~max_executions:execs ~spares
-                  ~verify:true ~fault_spec ~oracle:(Mig.eval g) p
-              in
+          List.iteri
+            (fun si spares ->
+              let d = cell.((ri * nb) + si).Campaign.outcome in
               (* coupled-threshold sampling: for a fixed physical array size,
                  a higher rate injects a superset of the faults, so capacity
                  must be non-increasing down each column *)
@@ -577,13 +621,18 @@ let faulttol () =
     "remaps" "retries" "capacity";
   Printf.printf "%-8s %12d %10s %8s %8s %10s   (run_until_failure)\n" "-" crash "1.0x"
     "-" "-" "-";
+  (* each spare budget is an independent campaign: fan out, print in order *)
+  let outcomes =
+    pmap
+      (fun spares ->
+        let fault_spec = Fault_model.make ~transient:1e-3 ~seed:0x77EA () in
+        ( spares,
+          Campaign.run_degraded ~seed:0xBE57 ~max_executions:100_000 ~endurance
+            ~spares ~verify:true ~fault_spec ~oracle:(Mig.eval g) p ))
+      [ 0; 4; 16; 64 ]
+  in
   List.iter
-    (fun spares ->
-      let fault_spec = Fault_model.make ~transient:1e-3 ~seed:0x77EA () in
-      let d =
-        Campaign.run_degraded ~seed:0xBE57 ~max_executions:100_000 ~endurance ~spares
-          ~verify:true ~fault_spec ~oracle:(Mig.eval g) p
-      in
+    (fun (spares, d) ->
       Printf.printf "%-8d %12d %9.1fx %8d %8d %10.4f\n" spares d.Campaign.executions
         (float_of_int d.Campaign.executions /. float_of_int (max 1 crash))
         d.Campaign.remaps d.Campaign.retries d.Campaign.final_capacity;
@@ -600,7 +649,7 @@ let faulttol () =
           d.Campaign.spares_remaining
           (d.Campaign.ended = Campaign.Max_executions)
         :: !faulttol_rows)
-    [ 0; 4; 16; 64 ]
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Machine-level verification of the compiled artefacts. *)
@@ -778,8 +827,10 @@ let ensure_dir dir =
 let write_results_json results path =
   ensure_dir (Filename.dirname path);
   let b = Buffer.create 65536 in
+  (* --deterministic zeroes the two wall-clock fields so -j1/-jN runs
+     produce byte-identical files *)
   bprintf b "{\"schema\":\"plim-bench/v1\",\"generated_at\":%.0f,\"benchmarks\":[\n"
-    (Unix.time ());
+    (if !deterministic then 0.0 else Unix.time ());
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
@@ -803,7 +854,8 @@ let write_results_json results path =
   List.iteri
     (fun i (name, (calls, total)) ->
       if i > 0 then Buffer.add_char b ',';
-      bprintf b "\n{\"name\":\"%s\",\"calls\":%d,\"total_s\":%.6f}" name calls total)
+      bprintf b "\n{\"name\":\"%s\",\"calls\":%d,\"total_s\":%.6f}" name calls
+        (if !deterministic then 0.0 else total))
     (Profile.totals ());
   Buffer.add_string b "\n],\"faulttol\":[";
   List.iteri
@@ -818,9 +870,56 @@ let write_results_json results path =
   close_out oc;
   Printf.eprintf "[bench] wrote %s\n%!" path
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [PHASE...] [-j N] [--suite small|all] [--deterministic]\n\
+    \                [--results PATH]\n\
+     phases: table1 table2 table3 summary csv ablations section2 wearlevel\n\
+    \        lifetime histogram verify faulttol perf all\n\
+     -j N            run fan-out phases on N domains (default: domain count);\n\
+    \                -j 1 is byte-identical to the sequential program\n\
+     --suite small   restrict tables to the small benchmark suite\n\
+     --deterministic zero wall-clock fields in the results JSON\n\
+     --results PATH  write the results JSON to PATH (default\n\
+    \                bench/results/latest.json)";
+  exit 2
+
 let () =
   Profile.enable ();
-  let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in
+  let jobs = ref (Par.default_jobs ()) in
+  let args = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--" :: rest -> parse rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse rest
+      | _ -> usage ())
+    | "--suite" :: "small" :: rest ->
+      suite := Suite.small_suite;
+      parse rest
+    | "--suite" :: "all" :: rest ->
+      suite := Suite.all;
+      parse rest
+    | "--deterministic" :: rest ->
+      deterministic := true;
+      parse rest
+    | "--results" :: path :: rest ->
+      results_path := path;
+      parse rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
+    | a :: rest ->
+      args := a :: !args;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let args = List.rev !args in
+  (* always through the pool, even at -j 1 (which spawns no domain and
+     runs the pure sequential path): the "par.map" profile entry must
+     appear at every jobs level or latest.json would differ by -j *)
+  pool := Some (Par.create ~jobs:!jobs ());
   let default = args = [] in
   let want x = default || List.mem x args || List.mem "all" args in
   let need_tables =
@@ -833,7 +932,7 @@ let () =
   let want_faulttol = List.mem "faulttol" args || List.mem "all" args in
   if want_faulttol then faulttol ();
   if results <> [] || want_faulttol then
-    write_results_json results "bench/results/latest.json";
+    write_results_json results !results_path;
   if List.mem "csv" args || List.mem "all" args then export_csv results "bench_csv";
   if want "table1" then table1 results;
   if want "table2" then table2 results;
@@ -845,4 +944,5 @@ let () =
   if List.mem "lifetime" args || List.mem "all" args then lifetime_bench ();
   if List.mem "histogram" args || List.mem "all" args then histogram ();
   if List.mem "verify" args || List.mem "all" args then verify ();
-  if List.mem "perf" args || List.mem "all" args then perf ()
+  if List.mem "perf" args || List.mem "all" args then perf ();
+  match !pool with Some p -> Par.shutdown p | None -> ()

@@ -508,7 +508,7 @@ let print_counterexample (cex : Plim_check.Fuzz.counterexample) =
     cex.Plim_check.Fuzz.case_seed
 
 let fuzz_run runs seed max_inputs max_nodes corpus no_save no_shrink case_seed replay
-    trace metrics profile =
+    jobs trace metrics profile =
   with_obs ~trace ~metrics ~profile @@ fun () ->
   match replay with
   | Some path ->
@@ -535,7 +535,13 @@ let fuzz_run runs seed max_inputs max_nodes corpus no_save no_shrink case_seed r
     let on_case i =
       if i > 0 && i mod 50 = 0 then Printf.eprintf "fuzz: %d/%d cases\n%!" i runs
     in
-    let report = Plim_check.Fuzz.run ?case_seeds ~on_case options in
+    (* case seeds are fixed up front and shrinking runs sequentially in
+       submission order, so the report is the same at any -j *)
+    let report =
+      Plim_par.with_pool ~jobs (fun pool ->
+          let pool = if Plim_par.jobs pool > 1 then Some pool else None in
+          Plim_check.Fuzz.run ?pool ?case_seeds ~on_case options)
+    in
     let n = List.length report.Plim_check.Fuzz.counterexamples in
     Printf.printf "fuzz: %d cases (seed %d, <=%d inputs, <=%d nodes): %d counterexample%s\n"
       report.Plim_check.Fuzz.cases seed max_inputs max_nodes n
@@ -588,6 +594,14 @@ let fuzz_cmd =
          & info [ "replay" ] ~docv:"FILE"
              ~doc:"Run the conformance suite on one corpus entry (.mig file) and exit.")
   in
+  let jobs =
+    Arg.(value & opt int (Plim_par.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Check cases on $(docv) domains.  The report — including the \
+                   first counterexample and every shrunk witness — is byte-identical \
+                   at every $(docv); $(docv)=1 never spawns a domain.  Defaults to \
+                   the recommended domain count.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -599,7 +613,8 @@ let fuzz_cmd =
           persist them in the regression corpus.")
     Term.(
       const fuzz_run $ runs $ seed $ max_inputs $ max_nodes $ corpus $ no_save
-      $ no_shrink $ case_seed $ replay $ trace_arg $ metrics_arg $ profile_flag_arg)
+      $ no_shrink $ case_seed $ replay $ jobs $ trace_arg $ metrics_arg
+      $ profile_flag_arg)
 
 let selftest_run () =
   let failures = ref 0 in

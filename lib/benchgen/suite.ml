@@ -52,14 +52,29 @@ let all =
 let names = List.map (fun s -> s.name) all
 
 let cache : (string, Mig.t) Hashtbl.t = Hashtbl.create 32
+let cache_lock = Mutex.create ()
 
+(* Domain-safe memoization: lookups and inserts are locked, the build runs
+   outside the lock so concurrent misses on *different* specs proceed in
+   parallel.  Two domains missing the *same* spec both build it — builds are
+   deterministic, so the last insert wins with an identical graph. *)
 let build_cached spec =
-  match Hashtbl.find_opt cache spec.name with
+  Mutex.lock cache_lock;
+  let hit = Hashtbl.find_opt cache spec.name in
+  Mutex.unlock cache_lock;
+  match hit with
   | Some g -> g
   | None ->
     let g = spec.build () in
-    Hashtbl.replace cache spec.name g;
-    g
+    Mutex.lock cache_lock;
+    (match Hashtbl.find_opt cache spec.name with
+    | Some g' ->
+      Mutex.unlock cache_lock;
+      g'
+    | None ->
+      Hashtbl.replace cache spec.name g;
+      Mutex.unlock cache_lock;
+      g)
 
 let small_suite =
   [ arithmetic "adder8" 16 9 (fun () -> Arith.adder ~width:8);

@@ -72,7 +72,17 @@ let shrink_to_minimal ~fails d =
   in
   improve d
 
-let run ?(check = fun mig -> Check.run mig) ?case_seeds ?(on_case = fun _ -> ())
+(* The campaign splits into two phases so [-j N] output is byte-identical
+   to [-j 1]:
+
+   1. generate + check every case, on the pool when one is given.  Each
+      case's seed was already fixed up front (a pure function of the
+      campaign seed and the case index), so parallel execution changes
+      neither which cases run nor their verdicts — only wall-clock.
+   2. shrink and persist the failing cases *sequentially in submission
+      order*.  Shrinking is deterministic per case, so the first
+      counterexample (and every later one) is the same at any [-j]. *)
+let run ?pool ?(check = fun mig -> Check.run mig) ?case_seeds ?(on_case = fun _ -> ())
     options =
   let seeds =
     match case_seeds with
@@ -86,16 +96,24 @@ let run ?(check = fun mig -> Check.run mig) ?case_seeds ?(on_case = fun _ -> ())
       done;
       List.rev !acc
   in
+  let eval i case_seed =
+    on_case i;
+    Obs.span "fuzz.case" @@ fun () ->
+    Metrics.incr m_cases;
+    let d = generate options case_seed in
+    match check (Gen.to_mig d) with [] -> None | _ :: _ -> Some d
+  in
+  let raw =
+    match pool with
+    | Some p -> Plim_par.mapi p ~f:eval seeds
+    | None -> List.mapi eval seeds
+  in
   let counterexamples = ref [] in
   List.iteri
-    (fun i case_seed ->
-      on_case i;
-      Obs.span "fuzz.case" @@ fun () ->
-      Metrics.incr m_cases;
-      let d = generate options case_seed in
-      match check (Gen.to_mig d) with
-      | [] -> ()
-      | _ :: _ ->
+    (fun i (case_seed, found) ->
+      match found with
+      | None -> ()
+      | Some d ->
         Metrics.incr m_counterexamples;
         let fails d = check (Gen.to_mig d) <> [] in
         let minimal, shrink_steps =
@@ -121,5 +139,5 @@ let run ?(check = fun mig -> Check.run mig) ?case_seeds ?(on_case = fun _ -> ())
         counterexamples :=
           { run_index = i; case_seed; desc = minimal; failures; shrink_steps; path }
           :: !counterexamples)
-    seeds;
+    (List.combine seeds raw);
   { cases = List.length seeds; counterexamples = List.rev !counterexamples }

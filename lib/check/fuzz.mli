@@ -51,6 +51,7 @@ val shrink_to_minimal :
     Returns the minimal description and the number of steps taken. *)
 
 val run :
+  ?pool:Plim_par.t ->
   ?check:(Mig.t -> Check.failure list) ->
   ?case_seeds:int list ->
   ?on_case:(int -> unit) ->
@@ -59,4 +60,12 @@ val run :
 (** Run the campaign.  [check] defaults to {!Check.run} with the default
     matrix (overridable for harness self-tests); [case_seeds] replaces
     the seed-derived case sequence for targeted replay; [on_case] is a
-    progress callback invoked before each case. *)
+    progress callback invoked before each case (concurrently when a pool
+    is given).
+
+    With [pool], generation and checking fan out across the pool's
+    domains; shrinking and corpus persistence then run sequentially over
+    the failing cases in submission order.  Because each case's seed is
+    fixed up front, the report — including the first counterexample and
+    every shrunk witness — is byte-identical at any pool width to the
+    sequential run. *)

@@ -173,6 +173,38 @@ let run_degraded ?(seed = 0xCAFE) ?(max_executions = 100) ?endurance ?(spares = 
     degraded_write_total = total_writes xbar;
     ended }
 
+(* ------------------------------------------------------------------ *)
+(* Degradation sweep over a rate x spares grid: each cell is an
+   independent [run_degraded] campaign (own crossbar, fault layer and rng),
+   so the grid is embarrassingly parallel.  Results come back in grid
+   order — rates outer, spare budgets inner — at any pool width, which is
+   what lets the bench faulttol table and its JSON rows stay byte-identical
+   between -j 1 and -j N. *)
+
+type sweep_cell = {
+  rate : float;
+  spares : int;
+  outcome : degradation;
+}
+
+let sweep_degraded ?pool ?seed ?max_executions ?endurance ?(verify = true) ?oracle
+    ~fault_spec_of ~rates ~spare_budgets p =
+  Obs.span "campaign.sweep" @@ fun () ->
+  let grid =
+    List.concat_map (fun rate -> List.map (fun spares -> (rate, spares)) spare_budgets)
+      rates
+  in
+  let eval (rate, spares) =
+    let outcome =
+      run_degraded ?seed ?max_executions ?endurance ~spares ~verify
+        ~fault_spec:(fault_spec_of rate) ?oracle p
+    in
+    { rate; spares; outcome }
+  in
+  match pool with
+  | Some p' -> Plim_par.map p' ~f:eval grid
+  | None -> List.map eval grid
+
 let run_with_start_gap ?seed ?max_executions ?psi ~endurance p =
   let n = p.Program.num_cells in
   let sg = Start_gap.create ?psi n in

@@ -92,3 +92,28 @@ val run_degraded :
     faults.  [oracle] maps an input vector (PI declaration order) to the
     expected outputs (PO order) — typically [Plim_mig.Mig.eval mig] — and
     feeds the [correct]/[incorrect] tally; without it both stay 0. *)
+
+type sweep_cell = {
+  rate : float;
+  spares : int;
+  outcome : degradation;
+}
+
+val sweep_degraded :
+  ?pool:Plim_par.t ->
+  ?seed:int ->
+  ?max_executions:int ->
+  ?endurance:int ->
+  ?verify:bool ->
+  ?oracle:(bool array -> bool array) ->
+  fault_spec_of:(float -> Plim_fault.Fault_model.spec) ->
+  rates:float list ->
+  spare_budgets:int list ->
+  Program.t ->
+  sweep_cell list
+(** One {!run_degraded} campaign per (rate, spares) grid cell, every cell
+    on its own crossbar and fault layer.  [fault_spec_of rate] builds the
+    injection spec of a row.  Cells are returned in grid order — [rates]
+    outer, [spare_budgets] inner — regardless of [pool] width, so sweep
+    reports are byte-identical at every [-j] level.  Without [pool] the
+    grid runs sequentially. *)

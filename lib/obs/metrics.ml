@@ -1,26 +1,37 @@
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t }
 type gauge = { g_name : string; mutable level : float }
 
 (* The registry is append-mostly and consulted only at registration and
-   snapshot time; hot paths hold the [counter] record directly. *)
+   snapshot time; hot paths hold the [counter] record directly.  Counter
+   bumps are atomic so tasks running on pool domains (Plim_par) can share
+   a counter: the final total is the sum of all increments regardless of
+   interleaving, which keeps metric snapshots deterministic under -j N.
+   The registry itself and gauge levels are guarded by [lock]. *)
+let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let counter name =
+  with_lock @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; count = 0 } in
+    let c = { c_name = name; count = Atomic.make 0 } in
     Hashtbl.replace counters name c;
     c
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: negative increment";
-  c.count <- c.count + by
+  ignore (Atomic.fetch_and_add c.count by)
 
-let value c = c.count
+let value c = Atomic.get c.count
 
 let gauge name =
+  with_lock @@ fun () ->
   match Hashtbl.find_opt gauges name with
   | Some g -> g
   | None ->
@@ -28,17 +39,21 @@ let gauge name =
     Hashtbl.replace gauges name g;
     g
 
-let set_gauge g v = g.level <- v
+let set_gauge g v = with_lock @@ fun () -> g.level <- v
 
-let gauge_value g = g.level
+let gauge_value g = with_lock @@ fun () -> g.level
 
-let get name = match Hashtbl.find_opt counters name with Some c -> c.count | None -> 0
+let get name =
+  with_lock @@ fun () ->
+  match Hashtbl.find_opt counters name with Some c -> Atomic.get c.count | None -> 0
 
 type value = Counter of int | Gauge of float
 
 let snapshot () =
+  with_lock @@ fun () ->
   let entries =
-    Hashtbl.fold (fun name c acc -> (name, Counter c.count) :: acc) counters []
+    Hashtbl.fold (fun name c acc -> (name, Counter (Atomic.get c.count)) :: acc)
+      counters []
   in
   let entries =
     Hashtbl.fold (fun name g acc -> (name, Gauge g.level) :: acc) gauges entries
@@ -46,7 +61,8 @@ let snapshot () =
   List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  with_lock @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counters;
   Hashtbl.iter (fun _ g -> g.level <- 0.0) gauges
 
 let pp_snapshot ppf entries =

@@ -6,8 +6,14 @@ type span = {
 }
 
 let on = ref false
+
+(* Spans may finish on any pool domain (Plim_par tasks), so the record list
+   is guarded by a mutex and the nesting depth is tracked per domain: a
+   worker executing a stolen task starts its own depth-0 stack instead of
+   extending the submitter's. *)
+let lock = Mutex.create ()
 let recorded : span list ref = ref []  (* completion order, reversed *)
-let current_depth = ref 0
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let enable () = on := true
 let disable () = on := false
@@ -17,11 +23,15 @@ let span name f =
   if not !on then f ()
   else begin
     let start = Clock.now () in
+    let current_depth = Domain.DLS.get depth_key in
     let depth = !current_depth in
     Stdlib.incr current_depth;
     let finish () =
       Stdlib.decr current_depth;
-      recorded := { name; start; duration = Clock.now () -. start; depth } :: !recorded
+      let s = { name; start; duration = Clock.now () -. start; depth } in
+      Mutex.lock lock;
+      recorded := s :: !recorded;
+      Mutex.unlock lock
     in
     match f () with
     | v ->
@@ -32,12 +42,22 @@ let span name f =
       raise e
   end
 
-let spans () = List.rev !recorded
+let spans () =
+  Mutex.lock lock;
+  let l = !recorded in
+  Mutex.unlock lock;
+  List.rev l
 
 let reset () =
+  Mutex.lock lock;
   recorded := [];
-  current_depth := 0
+  Mutex.unlock lock;
+  Domain.DLS.get depth_key := 0
 
+(* Sorted by name, not by accumulated time: wall-clock totals differ from
+   run to run (and between -j levels), so a duration sort would make every
+   report and the phases section of bench/results/latest.json
+   order-nondeterministic.  Names make the dump byte-stable. *)
 let totals () =
   let tbl = Hashtbl.create 16 in
   List.iter
@@ -46,9 +66,9 @@ let totals () =
         Option.value (Hashtbl.find_opt tbl s.name) ~default:(0, 0.0)
       in
       Hashtbl.replace tbl s.name (count + 1, total +. s.duration))
-    !recorded;
+    (spans ());
   Hashtbl.fold (fun name acc l -> (name, acc) :: l) tbl []
-  |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_chrome_json () =
   let b = Buffer.create 1024 in

@@ -30,7 +30,8 @@ val reset : unit -> unit
 (** Drop recorded spans; does not change enablement. *)
 
 val totals : unit -> (string * (int * float)) list
-(** Per-name [(count, total seconds)], sorted by descending total.
+(** Per-name [(count, total seconds)], sorted by name so reports are
+    byte-deterministic (durations vary run to run; names do not).
     Nested occurrences of a name each count. *)
 
 val to_chrome_json : unit -> string

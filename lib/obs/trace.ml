@@ -62,18 +62,25 @@ let event_to_json e =
   Buffer.add_char b '}';
   Buffer.contents b
 
+(* Serializes sink writes: events may be emitted from pool domains
+   (Plim_par tasks), and neither Queue.add nor channel output is
+   domain-safe.  Null-sink emits stay lock-free. *)
+let emit_lock = Mutex.create ()
+
 let emit ?(args = []) name =
   match !current with
   | Null -> ()
   | s ->
     let e = { ts = Clock.now (); name; args } in
+    Mutex.lock emit_lock;
     (match s with
     | Null -> ()
     | Memory q -> Queue.add e q
     | Jsonl oc ->
       output_string oc (event_to_json e);
       output_char oc '\n'
-    | Custom f -> f e)
+    | Custom f -> f e);
+    Mutex.unlock emit_lock
 
 let with_sink s f =
   let previous = !current in

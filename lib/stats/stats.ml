@@ -12,6 +12,12 @@ let mean xs =
   if n = 0 then 0.0
   else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
 
+(* Average of a float list; 0.0 on [] rather than 0/0 = nan, so summary
+   rows over an empty benchmark selection stay finite. *)
+let mean_list = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
 let stdev xs =
   let n = Array.length xs in
   if n <= 1 then 0.0

@@ -22,6 +22,10 @@ val zero_summary : summary
 
 val mean : float array -> float
 
+val mean_list : float list -> float
+(** Average of a list; 0.0 on [[]] (never nan), so table averages over an
+    empty benchmark selection stay finite. *)
+
 val stdev : float array -> float
 (** Population standard deviation; 0 for arrays of length <= 1. *)
 

@@ -15,9 +15,21 @@ let next64 t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
-  (* keep 62 bits so the conversion to OCaml's 63-bit int stays non-negative *)
-  let x = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
-  x mod bound
+  (* Rejection sampling over the top 62 bits (the conversion to OCaml's
+     63-bit int stays non-negative).  A plain [x mod bound] overweights the
+     residues below [2^62 mod bound]; draws at or above the largest multiple
+     of [bound] are redrawn instead, so every residue is equally likely.
+     Accepted draws produce the same value the pre-rejection implementation
+     did, which keeps every seed-pinned stream (corpus entries, benchmark
+     seeds) byte-stable: only the astronomically rare rejected draw
+     (probability < bound / 2^62) advances the state one extra step. *)
+  let tail = ((max_int mod bound) + 1) mod bound (* = 2^62 mod bound *) in
+  let threshold = max_int - tail in
+  let rec draw () =
+    let x = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+    if x <= threshold then x mod bound else draw ()
+  in
+  draw ()
 
 let bool t = Int64.logand (next64 t) 1L = 1L
 
@@ -26,3 +38,17 @@ let float t =
   x /. 9007199254740992.0 (* 2^53 *)
 
 let bits t ~width = Array.init width (fun _ -> bool t)
+
+(* Derive the seed of an independent child stream: one splitmix64 step over
+   the root seed offset by the (index+1)-th multiple of the golden-gamma
+   increment.  Sibling indices land on well-separated states, so per-task
+   streams never share a prefix with each other or with the root stream;
+   the result depends only on (root, index), never on draw order. *)
+let derive root i =
+  if i < 0 then invalid_arg "Splitmix.derive: index must be non-negative";
+  let t =
+    { state =
+        Int64.add (Int64.of_int root)
+          (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L) }
+  in
+  Int64.to_int (Int64.shift_right_logical (next64 t) 2)

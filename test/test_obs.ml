@@ -363,6 +363,24 @@ let test_span_records_on_exception () =
     (List.find (fun s -> s.Profile.name = "after") spans).Profile.depth;
   Profile.reset ()
 
+let test_totals_sorted_by_name () =
+  Profile.reset ();
+  Profile.enable ();
+  (* record in an order that differs from both alphabetic and by-time so a
+     regression to either ordering fails: "zeta" is slowest, recorded
+     first *)
+  ignore (Obs.span "zeta" (fun () -> Unix.sleepf 0.002));
+  ignore (Obs.span "alpha" (fun () -> ()));
+  ignore (Obs.span "mid" (fun () -> ()));
+  ignore (Obs.span "alpha" (fun () -> ()));
+  Profile.disable ();
+  let names = List.map fst (Profile.totals ()) in
+  Alcotest.(check (list string))
+    "totals sorted by name, duplicates merged" [ "alpha"; "mid"; "zeta" ] names;
+  let calls, _ = List.assoc "alpha" (Profile.totals ()) in
+  check_int "alpha merged calls" 2 calls;
+  Profile.reset ()
+
 let () =
   Alcotest.run "obs"
     [ ( "metrics",
@@ -379,4 +397,6 @@ let () =
           Alcotest.test_case "disabled transparent" `Quick
             test_span_disabled_is_transparent;
           Alcotest.test_case "records on exception" `Quick
-            test_span_records_on_exception ] ) ]
+            test_span_records_on_exception;
+          Alcotest.test_case "totals sorted by name" `Quick
+            test_totals_sorted_by_name ] ) ]

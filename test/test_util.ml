@@ -86,6 +86,67 @@ let test_splitmix_bits () =
   let rng = Splitmix.create 4 in
   check_int "bits width" 17 (Array.length (Splitmix.bits rng ~width:17))
 
+let test_splitmix_int_uniform () =
+  (* rejection sampling kills the modulo bias: over a bound that does not
+     divide 2^62, every residue class must land within a few percent of
+     the expected count.  10 buckets x 20k draws: expect 2000 per bucket,
+     binomial sigma ~ 42, so +-10% (+-200, ~4.7 sigma) is a smoke bound
+     that a modulo-biased generator over a skewed bound would still pass —
+     the real bias guard is the chi-square below over a pathological
+     bound. *)
+  let rng = Splitmix.create 0x5EED in
+  let buckets = 10 and draws = 20_000 in
+  let counts = Array.make buckets 0 in
+  for _ = 1 to draws do
+    let x = Splitmix.int rng buckets in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expect = draws / buckets in
+  Array.iteri
+    (fun i c ->
+      if abs (c - expect) > expect / 10 then
+        Alcotest.failf "bucket %d: %d draws, expected %d +- 10%%" i c expect)
+    counts;
+  (* chi-square over bound 3 * 2^60: with plain [next mod bound] the three
+     residues would split ~50/25/25 (chi2 ~ draws/2); uniform draws keep
+     chi2 near 2.  Anything under 20 is a pass with huge margin. *)
+  let bound = 3 * (1 lsl 60) in
+  let third = Array.make 3 0 in
+  let draws3 = 3_000 in
+  for _ = 1 to draws3 do
+    let x = Splitmix.int rng bound in
+    let k = if x < bound / 3 then 0 else if x < 2 * (bound / 3) then 1 else 2 in
+    third.(k) <- third.(k) + 1
+  done;
+  let e = float_of_int draws3 /. 3.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. e in
+        acc +. ((d *. d) /. e))
+      0.0 third
+  in
+  if chi2 > 20.0 then Alcotest.failf "chi-square %f over bound 3*2^60" chi2
+
+let test_splitmix_derive () =
+  (* pure in (root, index): same pair, same seed *)
+  check_int "reproducible" (Splitmix.derive 42 3) (Splitmix.derive 42 3);
+  (* distinct indices and roots give distinct streams *)
+  let seen = Hashtbl.create 64 in
+  for root = 0 to 7 do
+    for i = 0 to 7 do
+      let s = Splitmix.derive root i in
+      if Hashtbl.mem seen s then
+        Alcotest.failf "derive collision at root=%d i=%d" root i;
+      Hashtbl.replace seen s ()
+    done
+  done;
+  (* the derived seed is not the root's own stream shifted: task streams
+     must not overlap the parent generator *)
+  let parent = Splitmix.create 42 in
+  let first = Splitmix.int parent max_int in
+  check_bool "derived differs from parent draw" true (Splitmix.derive 42 0 <> first)
+
 (* --- Lazy_heap ------------------------------------------------------- *)
 
 let test_heap_ordering () =
@@ -161,6 +222,15 @@ let test_stats_singleton () =
   check_int "empty count" 0 z.Stats.count;
   check_int "empty total" 0 z.Stats.total
 
+let test_stats_mean_list () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean_list [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 7.5 (Stats.mean_list [ 7.5 ]);
+  (* regression: the bench AVG rows fed 0/0 = nan into the tables when a
+     suite selection was empty *)
+  let e = Stats.mean_list [] in
+  check_bool "empty is finite" true (Float.is_finite e);
+  Alcotest.(check (float 1e-9)) "empty is 0" 0.0 e
+
 let test_stats_improvement () =
   Alcotest.(check (float 1e-9)) "50%" 50.0 (Stats.improvement_pct ~baseline:10.0 5.0);
   Alcotest.(check (float 1e-9)) "-100%" (-100.0) (Stats.improvement_pct ~baseline:5.0 10.0);
@@ -229,6 +299,8 @@ let () =
           Alcotest.test_case "copy" `Quick test_splitmix_copy;
           Alcotest.test_case "float range" `Quick test_splitmix_float_range;
           Alcotest.test_case "bits" `Quick test_splitmix_bits;
+          Alcotest.test_case "int uniformity" `Quick test_splitmix_int_uniform;
+          Alcotest.test_case "derive" `Quick test_splitmix_derive;
           qc splitmix_int_bounds ] );
       ( "lazy-heap",
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
@@ -238,6 +310,7 @@ let () =
       ( "stats",
         [ Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "singleton/empty" `Quick test_stats_singleton;
+          Alcotest.test_case "mean_list" `Quick test_stats_mean_list;
           Alcotest.test_case "improvement" `Quick test_stats_improvement;
           Alcotest.test_case "quantile" `Quick test_stats_quantile;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
