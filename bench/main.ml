@@ -814,12 +814,26 @@ let bprintf = Printf.bprintf
 let buf_result b ?cap ~config (res : Pipeline.result) =
   let s = summary res in
   let p = res.Pipeline.program in
+  (* static dataflow columns: pure functions of the program, so they are
+     deterministic and safe under the -j1 == -jN byte-identity rules *)
+  let a = Plim_analyze.analyze ?max_writes:cap p in
+  let dead_writes =
+    List.length
+      (List.filter
+         (fun d -> d.Plim_analyze.kind = Plim_analyze.Dead_write)
+         a.Plim_analyze.diagnostics)
+  in
   bprintf b "{\"config\":\"%s\"" config;
   (match cap with Some c -> bprintf b ",\"cap\":%d" c | None -> ());
   bprintf b
-    ",\"instructions\":%d,\"rram_cells\":%d,\"writes\":{\"min\":%d,\"max\":%d,\"total\":%d,\"mean\":%.6g,\"stdev\":%.6g}}"
+    ",\"instructions\":%d,\"rram_cells\":%d,\"writes\":{\"min\":%d,\"max\":%d,\"total\":%d,\"mean\":%.6g,\"stdev\":%.6g}"
     (Program.length p) (Program.num_cells p) s.Stats.min s.Stats.max s.Stats.total
-    s.Stats.mean s.Stats.stdev
+    s.Stats.mean s.Stats.stdev;
+  bprintf b
+    ",\"storage\":{\"total_span\":%d,\"max_span\":%d,\"mean_span\":%.6g},\"dead_writes\":%d}"
+    a.Plim_analyze.storage.Plim_analyze.total_span
+    a.Plim_analyze.storage.Plim_analyze.max_span
+    a.Plim_analyze.storage.Plim_analyze.mean_span dead_writes
 
 let ensure_dir dir =
   try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()

@@ -17,6 +17,7 @@ module Lifetime = Plim_stats.Lifetime
 module Controller = Plim_machine.Plim_controller
 module Campaign = Plim_machine.Campaign
 module Fault_model = Plim_fault.Fault_model
+module Analyze = Plim_analyze
 module Metrics = Plim_obs.Metrics
 module Trace = Plim_obs.Trace
 module Profile = Plim_obs.Profile
@@ -254,6 +255,9 @@ let stats_run source config cap effort rewriting selection allocation endurance 
     endurance;
   Printf.printf "footprint     : %s\n"
     (Format.asprintf "%a" Plim_isa.Encoding.pp_footprint (Plim_isa.Encoding.footprint p));
+  let st = (Analyze.analyze ?max_writes:config.Pipeline.max_write p).Analyze.storage in
+  Printf.printf "storage       : total %d slot-instructions / max span %d / mean %.2f\n"
+    st.Analyze.total_span st.Analyze.max_span st.Analyze.mean_span;
   (* energy of one execution with all-zero inputs *)
   let inputs = Array.to_list (Array.map (fun (n, _) -> (n, false)) p.Program.pi_cells) in
   let _, xbar, run_stats = Controller.run p ~inputs in
@@ -616,6 +620,114 @@ let fuzz_cmd =
       $ no_shrink $ case_seed $ replay $ jobs $ trace_arg $ metrics_arg
       $ profile_flag_arg)
 
+(* ---------------------------------------------------------------- *)
+(* lint: static dataflow analysis — def-use chains, liveness, endurance
+   hygiene — of compiled benchmarks or on-disk .plim assembly. *)
+
+let lint_run sources config cap effort rewriting selection allocation max_writes json
+    jobs trace metrics profile =
+  with_obs ~trace ~metrics ~profile @@ fun () ->
+  if sources = [] then begin
+    Printf.eprintf "plimc lint: no sources given\n";
+    exit 2
+  end;
+  let config = override config rewriting selection allocation in
+  let config = { config with Pipeline.effort } in
+  let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
+  let analyze_source source =
+    (* .plim assembly is linted as-is; anything else goes through the
+       compiler under the requested configuration first *)
+    if Sys.file_exists source && Filename.check_suffix source ".plim" then
+      let p = Asm.read_file source in
+      (source, p, Analyze.analyze ?max_writes p)
+    else begin
+      let g = load_mig source in
+      let result = Pipeline.compile config g in
+      let p = result.Pipeline.program in
+      let cap = match max_writes with Some w -> Some w | None -> config.Pipeline.max_write in
+      (Printf.sprintf "%s[%s]" source (Pipeline.config_name config),
+       p, Analyze.analyze ?max_writes:cap p)
+    end
+  in
+  let results =
+    Plim_par.with_pool ~jobs (fun pool -> Plim_par.map pool ~f:analyze_source sources)
+  in
+  let error_total = ref 0 in
+  if json then begin
+    print_string "[";
+    List.iteri
+      (fun i (source, p, a) ->
+        if i > 0 then print_string ",";
+        print_string (Analyze.to_json ~source p a))
+      results;
+    print_endline "]"
+  end
+  else
+    List.iter
+      (fun (source, p, a) ->
+        let errors = List.length (Analyze.errors a) in
+        let count sev =
+          List.length
+            (List.filter (fun d -> d.Analyze.severity = sev) a.Analyze.diagnostics)
+        in
+        Printf.printf
+          "%s: %d instructions, %d devices: %d error(s), %d warning(s), %d info\n"
+          source (Program.length p) (Program.num_cells p) errors (count Analyze.Warning)
+          (count Analyze.Info);
+        List.iter
+          (fun d -> Printf.printf "  %s\n" (Analyze.diagnostic_to_string d))
+          a.Analyze.diagnostics;
+        let st = a.Analyze.storage in
+        Printf.printf "  storage: total %d slot-instructions, max span %d, mean %.2f\n"
+          st.Analyze.total_span st.Analyze.max_span st.Analyze.mean_span)
+      results;
+  List.iter
+    (fun (_, _, a) -> error_total := !error_total + List.length (Analyze.errors a))
+    results;
+  if !error_total > 0 then exit 1
+
+let lint_cmd =
+  let sources =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"SOURCE"
+             ~doc:"Benchmark names, .mig/.blif files (compiled first) or .plim \
+                   assembly files (linted as-is).")
+  in
+  let max_writes =
+    Arg.(value & opt (some int) None
+         & info [ "max-writes" ] ~docv:"W"
+             ~doc:"Check the static per-cell write bound against cap $(docv) \
+                   (defaults to $(b,--cap) when compiling).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one plim-lint/v1 JSON object per source (as a JSON array) \
+                   instead of text.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Analyze sources on $(docv) domains; output order is \
+                   submission order at every $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static dataflow analysis of RM3 programs: per-cell def-use chains and \
+          liveness intervals, use-before-def / dead-write / RRAM-leak / \
+          PO-clobber / endurance-cap diagnostics, and the storage-duration \
+          report (the quantity Algorithm 3 minimizes).  Exits 1 if any source \
+          has errors."
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 on success; 1 if any source produced error diagnostics; 2 on \
+               usage errors." ])
+    Term.(
+      const lint_run $ sources $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
+      $ selection_arg $ allocation_arg $ max_writes $ json $ jobs $ trace_arg
+      $ metrics_arg $ profile_flag_arg)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -652,6 +764,6 @@ let main =
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
     [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; fuzz_cmd;
-      profile_cmd; selftest_cmd ]
+      lint_cmd; profile_cmd; selftest_cmd ]
 
 let () = exit (Cmd.eval main)

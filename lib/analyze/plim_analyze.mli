@@ -1,0 +1,134 @@
+(** Static dataflow analysis and lint checks over compiled RM3 programs.
+
+    Where {!Plim_core.Verify} executes a program and {!Plim_check} fuzzes
+    the whole compiler, this module reasons about the instruction stream
+    without running it: it builds per-cell def-use chains and liveness
+    intervals (first def of a value to its last use) and derives
+
+    - per-cell {e static write bounds} — provably equal to what any
+      execution performs, cross-validated three ways in
+      {!Plim_core.Verify.check_random} against
+      {!Plim_isa.Program.static_write_counts} and the crossbar-observed
+      counts;
+    - a catalogue of {e diagnostics} over allocation hygiene and output
+      integrity (below);
+    - the {e storage-duration} report: how long each device stays blocked
+      holding a live value — the quantity the paper's Algorithm 3 (node
+      selection by smallest fanout level) minimizes, here measurable per
+      program instead of inferred from the schedule.
+
+    {2 Read/write model}
+
+    [RM3 a, b, z] writes [z] and reads every [Cell] operand; it also reads
+    the old value of [z] — [z <- <a, !b, z>] — {e except} when both
+    operands are constants with [a <> b]: [RM3 1,0,z] and [RM3 0,1,z] are
+    the constant loads ({!Plim_isa.Instruction.set_const}), independent of
+    the previous state.  ([RM3 0,0,z] and [RM3 1,1,z] are the identity and
+    do read [z].)  Primary inputs are defined by the external load before
+    instruction 0; primary outputs are live until after the last
+    instruction.
+
+    {2 Diagnostic catalogue}
+
+    - {b use-before-def} (error): an instruction reads a cell that is
+      neither a PI nor written earlier.  The machine would read the HRS
+      reset value 0, so the semantics are defined — but no correct
+      compilation ever does this.  Also raised for a PO cell that no
+      instruction or PI load ever defines.
+    - {b dead write} (error): a destination value is overwritten or the
+      program ends before anything reads it (and it is not a live-out PO
+      value) — pure wasted endurance.
+    - {b PO clobber} (error): an output cell is written {e after} the def
+      holding its final computed value, i.e. the overwritten def was never
+      read; the clobbering instruction is the one reported.
+    - {b RRAM leak} (error without a cap, info with one): a cell went
+      dead, yet an instruction more than [leak_grace] slots later
+      first-defines a brand-new cell.  The uncapped allocator only opens
+      fresh devices when the free pool is empty, so this proves the
+      allocator held a dead device past its last use.  The grace window
+      (default 8) covers one RM3 instruction group: the translator
+      requests a group's temporaries after a child's last read but
+      releases children only at group end, so a fresh open within one
+      group of a death is normal scheduling.  Under the maximum write
+      count strategy retired devices legitimately stay unused, hence the
+      downgrade to info.
+    - {b cap exceeded} (error, only with [max_writes]): a cell takes more
+      static writes than the Table III cap [W]; the first offending
+      instruction is reported.
+    - {b unused cell} (info): a cell inside [num_cells] that is never a
+      PI and never written — address-space gaps, e.g. devices skipped by
+      fault-aware allocation. *)
+
+module Program = Plim_isa.Program
+
+type severity = Error | Warning | Info
+
+type kind =
+  | Use_before_def
+  | Dead_write
+  | Po_clobber
+  | Rram_leak
+  | Cap_exceeded
+  | Unused_cell
+
+type diagnostic = {
+  severity : severity;
+  kind : kind;
+  instr : int option;  (** instruction index; [None] for program-level findings *)
+  cell : int;
+  message : string;
+}
+
+(** One value held by a cell: defined at [def_at], read at [uses]. *)
+type def = {
+  cell : int;
+  def_at : int;      (** instruction index; [-1] for the external PI load *)
+  uses : int list;   (** ascending instruction indices reading this value *)
+  live_out : bool;   (** the def a PO cell carries past the last instruction *)
+}
+
+type storage = {
+  total_span : int;      (** sum of liveness spans, in instruction slots *)
+  max_span : int;
+  mean_span : float;     (** average span per def; 0.0 when there are no defs *)
+  per_cell_span : int array;  (** blocked duration per cell, length [num_cells] *)
+}
+
+type analysis = {
+  diagnostics : diagnostic list;  (** sorted by instruction index *)
+  defs : def list;                (** every def in def order (PI loads first) *)
+  storage : storage;
+  write_counts : int array;       (** per-cell static bound, from the IR *)
+}
+
+val analyze : ?leak_grace:int -> ?max_writes:int -> Program.t -> analysis
+(** Build the def-use IR and run every checker.  [max_writes] enables the
+    cap checker and marks the leak checker cap-aware; [leak_grace]
+    (default 8) is the leak checker's scheduling slack (see above). *)
+
+val reads_dest : Plim_isa.Instruction.t -> bool
+(** Whether the instruction reads the old value of its destination — true
+    except for the two [set_const] encodings (see the read/write model). *)
+
+val write_counts : Program.t -> int array
+(** Per-cell write bounds derived from the def-use chains alone.  Always
+    equals {!Plim_isa.Program.static_write_counts}; computed through an
+    independent path so the equality is a real cross-check. *)
+
+val errors : analysis -> diagnostic list
+(** The diagnostics with [severity = Error]. *)
+
+val severity_name : severity -> string  (** ["error"], ["warning"], ["info"] *)
+
+val kind_name : kind -> string
+(** Kebab-case catalogue name, e.g. ["use-before-def"], ["dead-write"]. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** [<instr>: <severity>: <kind>: cell %<cell>: <message>]. *)
+
+val diagnostic_to_string : diagnostic -> string
+
+val to_json : ?source:string -> Program.t -> analysis -> string
+(** One self-contained JSON object (schema [plim-lint/v1]): program shape,
+    the full diagnostic list, storage-duration report and the write-bound
+    summary.  Stable field order; documented in EXPERIMENTS.md. *)

@@ -78,6 +78,21 @@ let cap_check name (config : Pipeline.config) program acc =
         counts.(!worst) cap
       :: acc
 
+let lint_check name (config : Pipeline.config) program acc =
+  (* Compiler output must be lint-clean: a dead write or RRAM leak in a
+     compiled program is an allocator/translator bug, and use-before-def or
+     a PO clobber is a miscompilation. *)
+  let analysis =
+    Plim_analyze.analyze ?max_writes:config.Pipeline.max_write program
+  in
+  match Plim_analyze.errors analysis with
+  | [] -> acc
+  | errs ->
+    let shown = List.filteri (fun i _ -> i < 3) errs in
+    fail name "lint" "%d lint error(s): %s" (List.length errs)
+      (String.concat "; " (List.map Plim_analyze.diagnostic_to_string shown))
+    :: acc
+
 let rewrite_function_check name g (result : Pipeline.result) acc =
   if Mig.num_inputs g > exhaustive_limit then acc
   else begin
@@ -150,6 +165,7 @@ let check_config ?fault_spec config g =
     let acc = symbolic_check name g program acc in
     let acc = write_count_check name g program acc in
     let acc = cap_check name config program acc in
+    let acc = lint_check name config program acc in
     let acc = rewrite_function_check name g result acc in
     let acc = output_map_check name g program acc in
     let acc =

@@ -14,6 +14,10 @@
       counts observed by the crossbar;
     - {b write-cap}: under the maximum write count strategy no device
       exceeds the cap (so a retired device is never written again);
+    - {b lint}: the static dataflow analyzer ({!Plim_analyze}) reports no
+      errors — use-before-def, dead writes, PO clobbers or (uncapped) RRAM
+      leaks in compiler output are compiler bugs, shrunk and persisted
+      like any other counterexample;
     - {b rewrite-function}: the rewritten MIG computes the same truth
       tables as the source;
     - {b fault-avoidance}: with fault-aware allocation the program never

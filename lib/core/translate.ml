@@ -204,6 +204,17 @@ let compute_node ctx id =
     finish_child c
 
 let materialize_outputs ctx =
+  let outs = Mig.outputs ctx.g in
+  (* A node referenced uncomplemented keeps its device: that cell IS the
+     output.  A node referenced only through complements is dead once its
+     last complement is materialized — release its device so the remaining
+     outputs' temporaries reuse it instead of opening fresh cells. *)
+  let direct = Hashtbl.create 16 in
+  Array.iter
+    (fun (_, s) ->
+      let n = Mig.node_of s in
+      if n <> 0 && not (Mig.is_complemented s) then Hashtbl.replace direct n ())
+    outs;
   let complement_cache = Hashtbl.create 16 in
   Array.map
     (fun (name, s) ->
@@ -216,13 +227,26 @@ let materialize_outputs ctx =
       else begin
         let c = ctx.cell_of.(n) in
         assert (c >= 0);
-        if not (Mig.is_complemented s) then (name, c)
+        let finish () =
+          ctx.pending.(n) <- ctx.pending.(n) - 1;
+          if ctx.pending.(n) = 0 && not (Hashtbl.mem direct n) then begin
+            Alloc.release ctx.alloc c;
+            ctx.cell_of.(n) <- -1
+          end
+        in
+        if not (Mig.is_complemented s) then begin
+          finish ();
+          (name, c)
+        end
         else
           match Hashtbl.find_opt complement_cache n with
-          | Some cell -> (name, cell)
+          | Some cell ->
+            finish ();
+            (name, cell)
           | None ->
             let cell = materialize_complement ctx (Mig.signal n false) in
             Hashtbl.replace complement_cache n cell;
+            finish ();
             (name, cell)
       end)
-    (Mig.outputs ctx.g)
+    outs

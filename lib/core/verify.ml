@@ -36,21 +36,29 @@ let check_vector mig program vector =
   | Ok _ -> Ok ()
   | Error e -> Error e
 
+(* Three-way agreement: the trivial per-instruction count, the bound the
+   dataflow analyzer derives from its def-use chains, and what the crossbar
+   actually counted.  Each pair failing points at a different layer (ISA
+   accounting, analyzer IR, machine). *)
 let check_write_counts (program : Program.t) (xbar : Crossbar.t) =
   let static = Program.static_write_counts program in
+  let analyzed = Plim_analyze.write_counts program in
   let dynamic = Crossbar.write_counts xbar in
-  if Array.length static <> Array.length dynamic then
-    Error "write-count arrays differ in length"
+  if
+    Array.length static <> Array.length dynamic
+    || Array.length static <> Array.length analyzed
+  then Error "write-count arrays differ in length"
   else begin
     let bad = ref None in
     Array.iteri
-      (fun i s -> if !bad = None && s <> dynamic.(i) then bad := Some i)
+      (fun i s ->
+        if !bad = None && (s <> dynamic.(i) || s <> analyzed.(i)) then bad := Some i)
       static;
     match !bad with
     | Some i ->
       Error
-        (Printf.sprintf "cell %d: static writes %d, dynamic writes %d" i static.(i)
-           dynamic.(i))
+        (Printf.sprintf "cell %d: static writes %d, analyzer bound %d, dynamic writes %d"
+           i static.(i) analyzed.(i) dynamic.(i))
     | None -> Ok ()
   end
 

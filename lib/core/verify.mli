@@ -17,8 +17,10 @@ val check_vector :
 val check_random :
   ?trials:int -> ?seed:int -> Mig.t -> Program.t -> (unit, string) result
 (** [check_random mig program] runs [trials] (default 32) random vectors.
-    Also verifies that the write counts observed by the crossbar equal the
-    program's static per-cell counts.
+    Also verifies three-way per-cell write-count agreement on every trial:
+    {!Plim_isa.Program.static_write_counts}, the bound
+    {!Plim_analyze.write_counts} derives from its def-use chains, and the
+    counts observed by the crossbar.
 
     Fully deterministic in [seed] (default [0x5eed]): the vector stream is
     one splitmix64 stream and no global [Random] state is consulted, so

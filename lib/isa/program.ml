@@ -23,7 +23,22 @@ let validate t =
       check_cell "destination" instr.Instruction.z)
     t.instrs;
   Array.iter (fun (_, i) -> check_cell "input" i) t.pi_cells;
-  Array.iter (fun (_, i) -> check_cell "output" i) t.po_cells
+  Array.iter (fun (_, i) -> check_cell "output" i) t.po_cells;
+  (* Names must be unique per direction: a duplicate would make the
+     input-vector and output maps ambiguous.  Cells may be shared — two
+     inputs when the compiler reuses the device of an input nothing reads,
+     two outputs when they reference the same MIG node. *)
+  let check_names what names =
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun (name, _) ->
+        if Hashtbl.mem tbl name then
+          invalid_arg (Printf.sprintf "Program.make: duplicate %s name %S" what name);
+        Hashtbl.add tbl name ())
+      names
+  in
+  check_names "input" t.pi_cells;
+  check_names "output" t.po_cells
 
 let make ~instrs ~num_cells ~pi_cells ~po_cells =
   let t = { instrs; num_cells; pi_cells; po_cells } in

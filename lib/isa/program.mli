@@ -17,7 +17,10 @@ val make :
   pi_cells:(string * int) array ->
   po_cells:(string * int) array ->
   t
-(** Validates that every referenced cell is within [0, num_cells).
+(** Validates that every referenced cell is within [0, num_cells) and that
+    input names and output names are each duplicate-free.  Cells may be
+    shared between inputs (the compiler reuses the device of an unused
+    input) and between outputs (two outputs referencing one MIG node).
     @raise Invalid_argument otherwise. *)
 
 val length : t -> int

@@ -80,6 +80,36 @@ let test_program_validation () =
     (Invalid_argument "Program.make: input cell 5 out of range (num_cells 2)") (fun () ->
       ignore (Program.make ~instrs:[||] ~num_cells:2 ~pi_cells:[| ("a", 5) |] ~po_cells:[||]))
 
+let test_program_validation_edges () =
+  (* an empty instruction stream is a valid (degenerate) program *)
+  let p =
+    Program.make ~instrs:[||] ~num_cells:1 ~pi_cells:[| ("a", 0) |]
+      ~po_cells:[| ("y", 0) |]
+  in
+  check_int "empty #I" 0 (Program.length p);
+  Alcotest.check_raises "output out of range"
+    (Invalid_argument "Program.make: output cell 4 out of range (num_cells 2)")
+    (fun () ->
+      ignore
+        (Program.make ~instrs:[||] ~num_cells:2 ~pi_cells:[||] ~po_cells:[| ("y", 4) |]));
+  Alcotest.check_raises "duplicate output name"
+    (Invalid_argument "Program.make: duplicate output name \"y\"") (fun () ->
+      ignore
+        (Program.make ~instrs:[||] ~num_cells:2 ~pi_cells:[||]
+           ~po_cells:[| ("y", 0); ("y", 1) |]));
+  Alcotest.check_raises "duplicate input name"
+    (Invalid_argument "Program.make: duplicate input name \"a\"") (fun () ->
+      ignore
+        (Program.make ~instrs:[||] ~num_cells:2 ~pi_cells:[| ("a", 0); ("a", 1) |]
+           ~po_cells:[||]));
+  (* shared cells are legal compiler output: an unused input's device is
+     reused by the next input, and two outputs may reference one node *)
+  let q =
+    Program.make ~instrs:[||] ~num_cells:1 ~pi_cells:[| ("a", 0); ("b", 0) |]
+      ~po_cells:[| ("y", 0); ("z", 0) |]
+  in
+  check_int "shared cells accepted" 1 (Program.num_cells q)
+
 (* --- assembly ------------------------------------------------------------- *)
 
 let program_equal (p : Program.t) (q : Program.t) =
@@ -120,6 +150,19 @@ let asm_roundtrip_random =
         Program.make ~instrs ~num_cells:10 ~pi_cells:[| ("in0", 0) |]
           ~po_cells:[| ("out0", 9) |]
       in
+      program_equal p (Asm.of_string (Asm.to_string p)))
+
+(* parse (print p) = p over real compiler output, not just synthetic
+   streams: compiled programs exercise shared PI cells, complement
+   temporaries and multi-output maps *)
+let compiled_asm_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"assembly roundtrip on compiled programs"
+    (Plim_check.Gen.arbitrary ~max_inputs:5 ~max_nodes:16 ())
+    (fun desc ->
+      let module Pipeline = Plim_core.Pipeline in
+      let g = Plim_check.Gen.to_mig desc in
+      let config = { Pipeline.endurance_full with Pipeline.effort = 1 } in
+      let p = (Pipeline.compile config g).Pipeline.program in
       program_equal p (Asm.of_string (Asm.to_string p)))
 
 (* --- binary encoding -------------------------------------------------------- *)
@@ -174,12 +217,14 @@ let () =
           Alcotest.test_case "printing" `Quick test_printing ] );
       ( "program",
         [ Alcotest.test_case "stats" `Quick test_program_stats;
-          Alcotest.test_case "validation" `Quick test_program_validation ] );
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "validation edges" `Quick test_program_validation_edges ] );
       ( "assembly",
         [ Alcotest.test_case "roundtrip" `Quick test_asm_roundtrip;
           Alcotest.test_case "parsing" `Quick test_asm_parsing;
           Alcotest.test_case "errors" `Quick test_asm_errors;
-          qc asm_roundtrip_random ] );
+          qc asm_roundtrip_random;
+          qc compiled_asm_roundtrip ] );
       ( "encoding",
         [ Alcotest.test_case "address widths" `Quick test_encoding_widths;
           Alcotest.test_case "validation" `Quick test_encoding_validation;

@@ -25,39 +25,39 @@ let tag_name = function
 
 (* (benchmark, configuration, #I, #R, write stdev) *)
 let baselines =
-  [ ("adder8", Naive, 221, 19, 9.320100);
-    ("adder8", Endurance_full, 131, 19, 2.918088);
-    ("adder8", Cap10, 131, 22, 2.836087);
-    ("bar8", Naive, 153, 13, 8.163275);
+  [ ("adder8", Naive, 221, 19, 9.847311);
+    ("adder8", Endurance_full, 131, 19, 1.860807);
+    ("adder8", Cap10, 131, 19, 1.860807);
+    ("bar8", Naive, 153, 13, 8.294149);
     ("bar8", Endurance_full, 89, 18, 1.899480);
     ("bar8", Cap10, 89, 18, 1.899480);
-    ("div8", Naive, 2203, 37, 43.128717);
-    ("div8", Endurance_full, 1202, 54, 11.692329);
-    ("div8", Cap10, 1232, 139, 1.792075);
-    ("max8", Naive, 404, 35, 11.571746);
+    ("div8", Naive, 2203, 37, 42.150050);
+    ("div8", Endurance_full, 1202, 54, 11.047348);
+    ("div8", Cap10, 1232, 133, 0.857473);
+    ("max8", Naive, 404, 35, 11.362452);
     ("max8", Endurance_full, 207, 36, 6.079908);
     ("max8", Cap10, 211, 44, 2.633521);
-    ("multiplier8", Naive, 1615, 34, 40.540648);
-    ("multiplier8", Endurance_full, 946, 36, 15.323568);
-    ("multiplier8", Cap10, 976, 115, 2.645308);
-    ("sqrt8", Naive, 1359, 31, 29.173670);
-    ("sqrt8", Endurance_full, 676, 42, 6.746461);
+    ("multiplier8", Naive, 1615, 34, 41.178414);
+    ("multiplier8", Endurance_full, 946, 36, 14.446474);
+    ("multiplier8", Cap10, 976, 104, 1.456469);
+    ("sqrt8", Naive, 1359, 31, 28.971729);
+    ("sqrt8", Endurance_full, 676, 42, 6.732330);
     ("sqrt8", Cap10, 693, 79, 1.566657);
-    ("square8", Naive, 1582, 37, 29.704313);
-    ("square8", Endurance_full, 881, 38, 8.347251);
-    ("square8", Cap10, 900, 108, 2.841492);
+    ("square8", Naive, 1582, 37, 30.060664);
+    ("square8", Endurance_full, 881, 38, 7.587577);
+    ("square8", Cap10, 900, 98, 1.986418);
     ("dec4", Naive, 44, 17, 1.087838);
     ("dec4", Endurance_full, 50, 17, 1.161672);
     ("dec4", Cap10, 50, 17, 1.161672);
-    ("priority16", Naive, 204, 17, 9.273618);
+    ("priority16", Naive, 204, 17, 9.399625);
     ("priority16", Endurance_full, 91, 19, 8.134261);
     ("priority16", Cap10, 100, 19, 4.528763);
     ("voter15", Naive, 371, 18, 9.135638);
     ("voter15", Endurance_full, 198, 20, 1.445683);
     ("voter15", Cap10, 207, 23, 1.668115);
-    ("rc_small", Naive, 1317, 48, 18.434463);
-    ("rc_small", Endurance_full, 799, 64, 3.531077);
-    ("rc_small", Cap10, 827, 90, 1.806743) ]
+    ("rc_small", Naive, 1317, 48, 18.481868);
+    ("rc_small", Endurance_full, 799, 64, 3.423230);
+    ("rc_small", Cap10, 827, 90, 1.555595) ]
 
 let graphs = Hashtbl.create 16
 
