@@ -27,6 +27,8 @@ module Profile = Plim_obs.Profile
 module Fault_model = Plim_fault.Fault_model
 module Campaign = Plim_machine.Campaign
 module Par = Plim_par
+module Wear = Plim_telemetry.Wear
+module Hgram = Plim_telemetry.Histogram
 
 let caps = [ 10; 20; 50; 100 ]
 
@@ -652,6 +654,52 @@ let faulttol () =
     outcomes
 
 (* ------------------------------------------------------------------ *)
+(* Wear trajectory: a degradation campaign sampled over time — the skew
+   time series (stdev/gini/max-mean of the per-cell wear distribution)
+   plus a final per-cell heatmap.  Campaign.run_degraded never touches
+   the pool and its sampler is a pure function of the execution
+   sequence, so this section is byte-identical at every -j level; it is
+   part of the bench-j1 == bench-j4 diff gate. *)
+
+let wear_rows : string list ref = ref []
+
+let wear () =
+  Printf.printf
+    "\nWEAR TRAJECTORY — skew time series of a degradation campaign\n";
+  let endurance = 2_000 and execs = 400 and spares = 16 in
+  Printf.printf
+    "(adder8, endurance-full; endurance %d writes/cell, %d spares, transient 1e-3,\n\
+    \ %d executions; write-verify detects worn cells and remaps to spares)\n"
+    endurance spares execs;
+  let spec = Suite.find "adder8" in
+  let g = Suite.build_cached spec in
+  let p = (Pipeline.compile Pipeline.endurance_full g).Pipeline.program in
+  let d =
+    Campaign.run_degraded ~seed:0xBE57 ~max_executions:execs ~sample_every:20
+      ~endurance ~spares ~verify:true
+      ~fault_spec:(Fault_model.make ~transient:1e-3 ~seed:0x77EA ())
+      ~oracle:(Mig.eval g) p
+  in
+  Format.printf "%a" Campaign.pp_trajectory d.Campaign.trajectory;
+  Printf.printf
+    "\nfinal wear heatmap (%d physical cells incl. %d spares; '@' = most worn):\n"
+    (Array.length d.Campaign.final_wear)
+    spares;
+  print_string (Wear.heatmap d.Campaign.final_wear);
+  Printf.printf
+    "executions %d, %d worn out, %d remaps, capacity %.4f\n" d.Campaign.executions
+    d.Campaign.worn_out d.Campaign.remaps d.Campaign.final_capacity;
+  wear_rows :=
+    [ Printf.sprintf
+        "{\"benchmark\":\"adder8\",\"config\":\"endurance-full\",\"endurance\":%d,\
+         \"spares\":%d,\"executions\":%d,\"worn_out\":%d,\"remaps\":%d,\
+         \"capacity\":%.6g,\"trajectory\":%s,\"heatmap\":%s}"
+        endurance spares d.Campaign.executions d.Campaign.worn_out d.Campaign.remaps
+        d.Campaign.final_capacity
+        (Campaign.trajectory_json d.Campaign.trajectory)
+        (Wear.heatmap_json ~label:"adder8/endurance-full" d.Campaign.final_wear) ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-level verification of the compiled artefacts. *)
 
 let verify () =
@@ -823,12 +871,19 @@ let buf_result b ?cap ~config (res : Pipeline.result) =
          (fun d -> d.Plim_analyze.kind = Plim_analyze.Dead_write)
          a.Plim_analyze.diagnostics)
   in
+  let counts = Program.static_write_counts p in
   bprintf b "{\"config\":\"%s\"" config;
   (match cap with Some c -> bprintf b ",\"cap\":%d" c | None -> ());
   bprintf b
-    ",\"instructions\":%d,\"rram_cells\":%d,\"writes\":{\"min\":%d,\"max\":%d,\"total\":%d,\"mean\":%.6g,\"stdev\":%.6g}"
+    ",\"instructions\":%d,\"rram_cells\":%d,\"writes\":{\"min\":%d,\"max\":%d,\"total\":%d,\"mean\":%.6g,\"stdev\":%.6g,\"p50\":%d,\"p90\":%d,\"p99\":%d}"
     (Program.length p) (Program.num_cells p) s.Stats.min s.Stats.max s.Stats.total
-    s.Stats.mean s.Stats.stdev;
+    s.Stats.mean s.Stats.stdev s.Stats.p50 s.Stats.p90 s.Stats.p99;
+  (* v2 columns: wear-skew balance metrics and the full log-bucketed
+     write-count distribution, all pure functions of the program *)
+  bprintf b ",\"skew\":{\"gini\":%.6g,\"max_mean\":%.6g},\"histogram\":%s"
+    (Stats.gini counts)
+    (Stats.max_mean_ratio s)
+    (Hgram.to_json (Hgram.of_array counts));
   bprintf b
     ",\"storage\":{\"total_span\":%d,\"max_span\":%d,\"mean_span\":%.6g},\"dead_writes\":%d}"
     a.Plim_analyze.storage.Plim_analyze.total_span
@@ -843,7 +898,7 @@ let write_results_json results path =
   let b = Buffer.create 65536 in
   (* --deterministic zeroes the two wall-clock fields so -j1/-jN runs
      produce byte-identical files *)
-  bprintf b "{\"schema\":\"plim-bench/v1\",\"generated_at\":%.0f,\"benchmarks\":[\n"
+  bprintf b "{\"schema\":\"plim-bench/v2\",\"generated_at\":%.0f,\"benchmarks\":[\n"
     (if !deterministic then 0.0 else Unix.time ());
   List.iteri
     (fun i r ->
@@ -878,6 +933,13 @@ let write_results_json results path =
       Buffer.add_char b '\n';
       Buffer.add_string b row)
     (List.rev !faulttol_rows);
+  Buffer.add_string b "\n],\"wear\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b row)
+    !wear_rows;
   Buffer.add_string b "\n]}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -889,7 +951,7 @@ let usage () =
     "usage: main.exe [PHASE...] [-j N] [--suite small|all] [--deterministic]\n\
     \                [--results PATH]\n\
      phases: table1 table2 table3 summary csv ablations section2 wearlevel\n\
-    \        lifetime histogram verify faulttol perf all\n\
+    \        lifetime histogram verify faulttol wear perf all\n\
      -j N            run fan-out phases on N domains (default: domain count);\n\
     \                -j 1 is byte-identical to the sequential program\n\
      --suite small   restrict tables to the small benchmark suite\n\
@@ -945,7 +1007,9 @@ let () =
   let results = if need_tables then all_results () else [] in
   let want_faulttol = List.mem "faulttol" args || List.mem "all" args in
   if want_faulttol then faulttol ();
-  if results <> [] || want_faulttol then
+  let want_wear = List.mem "wear" args || List.mem "all" args in
+  if want_wear then wear ();
+  if results <> [] || want_faulttol || want_wear then
     write_results_json results !results_path;
   if List.mem "csv" args || List.mem "all" args then export_csv results "bench_csv";
   if want "table1" then table1 results;

@@ -21,6 +21,8 @@ module Analyze = Plim_analyze
 module Metrics = Plim_obs.Metrics
 module Trace = Plim_obs.Trace
 module Profile = Plim_obs.Profile
+module Report = Plim_telemetry.Report
+module Wear = Plim_telemetry.Wear
 
 open Cmdliner
 
@@ -241,8 +243,11 @@ let stats_run source config cap effort rewriting selection allocation endurance 
     (Mig.depth result.Pipeline.rewritten);
   Printf.printf "#I            : %d RM3 instructions\n" (Program.length p);
   Printf.printf "#R            : %d RRAM devices\n" (Program.num_cells p);
-  Printf.printf "writes        : min %d / max %d / mean %.2f / stdev %.2f\n" s.Stats.min
-    s.Stats.max s.Stats.mean s.Stats.stdev;
+  Printf.printf
+    "writes        : min %d / max %d / mean %.2f / stdev %.2f / p50 %d / p90 %d / \
+     p99 %d\n"
+    s.Stats.min s.Stats.max s.Stats.mean s.Stats.stdev s.Stats.p50 s.Stats.p90
+    s.Stats.p99;
   let writes = Program.static_write_counts p in
   Printf.printf "histogram     :";
   List.iter
@@ -384,7 +389,8 @@ let fault_spec_conv =
       Fault_model.pp )
 
 let faults_run source config cap effort rewriting selection allocation inject spares
-    verify_writes seed executions endurance avoid trace metrics profile =
+    verify_writes seed executions endurance avoid heatmap wear_json trace metrics
+    profile =
   with_obs ~trace ~metrics ~profile @@ fun () ->
   let config = override config rewriting selection allocation in
   let config = { config with Pipeline.effort } in
@@ -438,6 +444,29 @@ let faults_run source config cap effort rewriting selection allocation inject sp
           pt.Campaign.capacity pt.Campaign.spares_left)
       d.Campaign.curve
   end;
+  if heatmap then begin
+    Printf.printf "wear skew     : trajectory (decimated; counted physical writes)\n";
+    Format.printf "%a" Campaign.pp_trajectory d.Campaign.trajectory;
+    Format.print_flush ();
+    Printf.printf "wear heatmap  : %d physical cells incl. %d spares\n"
+      (Array.length d.Campaign.final_wear)
+      spares;
+    print_string (Wear.heatmap d.Campaign.final_wear)
+  end;
+  (match wear_json with
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"schema\":\"plim-wear/v1\",\"source\":%S,\"config\":%S,\"executions\":%d,\
+       \"trajectory\":%s,\"heatmap\":%s}\n"
+      source
+      (Pipeline.config_name config)
+      d.Campaign.executions
+      (Campaign.trajectory_json d.Campaign.trajectory)
+      (Wear.heatmap_json ~label:source d.Campaign.final_wear);
+    close_out oc;
+    Printf.eprintf "wrote wear trajectory + heatmap to %s\n%!" path
+  | None -> ());
   if d.Campaign.incorrect > 0 then exit 1
 
 let faults_cmd =
@@ -480,6 +509,18 @@ let faults_cmd =
              ~doc:"Fault-aware allocation: compile around the known fault map so the \
                    program never touches an injected-faulty device.")
   in
+  let heatmap =
+    Arg.(value & flag
+         & info [ "heatmap" ]
+             ~doc:"Print the wear-skew time series (stdev, Gini, max/mean) sampled \
+                   over the campaign and an ASCII per-cell wear heatmap at the end.")
+  in
+  let wear_json =
+    Arg.(value & opt (some string) None
+         & info [ "wear-json" ] ~docv:"FILE"
+             ~doc:"Write the wear trajectory and final heatmap as a plim-wear/v1 \
+                   JSON document to $(docv).")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
@@ -489,7 +530,8 @@ let faults_cmd =
     Term.(
       const faults_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
       $ selection_arg $ allocation_arg $ inject $ spares $ verify_writes $ seed
-      $ executions $ endurance $ avoid $ trace_arg $ metrics_arg $ profile_flag_arg)
+      $ executions $ endurance $ avoid $ heatmap $ wear_json $ trace_arg $ metrics_arg
+      $ profile_flag_arg)
 
 (* ---------------------------------------------------------------- *)
 (* fuzz: differential conformance fuzzing with a persisted corpus. *)
@@ -728,6 +770,67 @@ let lint_cmd =
       $ selection_arg $ allocation_arg $ max_writes $ json $ jobs $ trace_arg
       $ metrics_arg $ profile_flag_arg)
 
+let report_run current against threshold min_abs json verbose =
+  match
+    Report.compare_files ~threshold_pct:threshold ~min_abs ~baseline:against
+      ~current ()
+  with
+  | Error e ->
+    Printf.eprintf "plimc report: %s\n" e;
+    exit 2
+  | Ok c ->
+    if json then print_string (Report.to_json c)
+    else print_string (Report.render ~verbose c);
+    if Report.has_regressions c then exit 1
+
+let report_cmd =
+  let current =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"CURRENT"
+             ~doc:"The plim-bench/v1 or /v2 results file under test (e.g. \
+                   bench/results/latest.json).")
+  in
+  let against =
+    Arg.(required & opt (some file) None
+         & info [ "against" ] ~docv:"BASELINE"
+             ~doc:"Baseline results file to diff $(i,CURRENT) against.")
+  in
+  let threshold =
+    Arg.(value & opt float 2.0
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Relative growth (percent) a metric must exceed to count as a \
+                   regression.")
+  in
+  let min_abs =
+    Arg.(value & opt float 1e-9
+         & info [ "min-abs" ] ~docv:"X"
+             ~doc:"Absolute growth floor below which a delta never gates; \
+                   identical runs always report zero regressions.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the plim-report/v1 JSON document instead of text.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"List every improvement, not just the top 10.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Diff two bench result files metric-by-metric and gate on regressions: \
+          per-benchmark/per-config deltas for instruction count, RRAM cells, \
+          write totals and tails (max/stdev/p50/p90/p99), wear-skew (Gini, \
+          max/mean) and storage durations.  All tracked metrics are costs, so a \
+          regression is growth beyond both $(b,--threshold) and $(b,--min-abs); \
+          wall-clock phases are reported but never gate."
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 when no metric regressed; 1 on regression; 2 on usage or parse \
+               errors." ])
+    Term.(const report_run $ current $ against $ threshold $ min_abs $ json $ verbose)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -764,6 +867,6 @@ let main =
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
     [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; fuzz_cmd;
-      lint_cmd; profile_cmd; selftest_cmd ]
+      lint_cmd; report_cmd; profile_cmd; selftest_cmd ]
 
 let () = exit (Cmd.eval main)

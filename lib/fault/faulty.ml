@@ -130,6 +130,10 @@ let load t i b =
       mark_worn t i;
       absorb t i)
 
+let set_observer t obs = Crossbar.set_observer t.base obs
+
+let wear_counts t = Crossbar.write_counts t.base
+
 let num_faulty t = t.num_stuck
 
 let injected t = t.injected

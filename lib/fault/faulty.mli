@@ -52,6 +52,16 @@ val rm3 : t -> p:bool -> q:bool -> int -> unit
 
 val load : t -> int -> bool -> unit
 
+val set_observer : t -> (cell:int -> writes:int -> unit) option -> unit
+(** Install a wear observer on the wrapped crossbar (see
+    {!Plim_rram.Crossbar.set_observer}).  Fires on counted physical
+    writes only — absorbed writes to stuck cells never wear the device
+    and never reach the observer. *)
+
+val wear_counts : t -> int array
+(** Per-cell cumulative write counts of the wrapped crossbar (a copy) —
+    the raw material for wear heatmaps and skew metrics. *)
+
 val stuck_at : t -> int -> bool option
 (** Ground truth (test/reporting oracle — a real controller only learns
     this through write-verify): [Some v] if the cell is permanently stuck

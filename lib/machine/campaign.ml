@@ -9,15 +9,89 @@ module Fault_model = Plim_fault.Fault_model
 module Faulty = Plim_fault.Faulty
 module Remap = Plim_fault.Remap
 module Exec = Plim_fault.Exec
+module Wear = Plim_telemetry.Wear
+module Series = Plim_telemetry.Series
 
 let m_campaigns = Metrics.counter "campaign.runs"
 let m_executions = Metrics.counter "campaign.executions"
+
+type wear_sample = {
+  at_execution : int;
+  at_write : int;
+  skew : Wear.skew;
+}
 
 type outcome = {
   executions_completed : int;
   failed : bool;
   write_total : int;
+  trajectory : wear_sample list;
 }
+
+(* Wear-trajectory sampling shared by the campaign flavours: a crossbar
+   observer supplies the physical-write clock, and skew snapshots taken
+   at fixed execution boundaries flow through a decimating series so the
+   curve stays bounded on arbitrarily long campaigns.  Everything here is
+   a pure function of the (deterministic) execution sequence — no clock,
+   no extra randomness — so trajectories are [-j N]-stable. *)
+
+let default_sample_every max_executions = max 1 (max_executions / 64)
+
+type sampler = {
+  sm_every : int;
+  sm_writes : int ref;             (* physical-write clock *)
+  sm_series : wear_sample Series.t;
+  sm_counts : unit -> int array;
+}
+
+let make_sampler ~sample_every ~max_executions ~counts =
+  let sm_every =
+    match sample_every with
+    | Some k ->
+      if k < 1 then invalid_arg "Campaign: sample_every must be >= 1";
+      k
+    | None -> default_sample_every max_executions
+  in
+  { sm_every;
+    sm_writes = ref 0;
+    sm_series = Series.create ~policy:Series.Decimate ~capacity:128 ();
+    sm_counts = counts }
+
+let sampler_observer sm = Some (fun ~cell:_ ~writes:_ -> incr sm.sm_writes)
+
+let take_sample sm at_execution =
+  Series.offer sm.sm_series
+    { at_execution; at_write = !(sm.sm_writes); skew = Wear.skew_of (sm.sm_counts ()) }
+
+let sample_boundary sm completed =
+  if completed mod sm.sm_every = 0 then take_sample sm completed
+
+(* The retained curve plus a guaranteed final point (decimation may have
+   dropped the last boundary sample). *)
+let finish_trajectory sm completed =
+  let final =
+    { at_execution = completed;
+      at_write = !(sm.sm_writes);
+      skew = Wear.skew_of (sm.sm_counts ()) }
+  in
+  let pts = Series.to_list sm.sm_series in
+  match Series.last sm.sm_series with
+  | Some s when s.at_execution = completed -> pts
+  | _ -> pts @ [ final ]
+
+let sample_json s =
+  Printf.sprintf "{\"at_execution\":%d,\"at_write\":%d,\"skew\":%s}" s.at_execution
+    s.at_write (Wear.skew_json s.skew)
+
+let trajectory_json samples = "[" ^ String.concat "," (List.map sample_json samples) ^ "]"
+
+let pp_trajectory ppf samples =
+  Format.fprintf ppf "  %10s %10s  %s@." "execution" "writes" "wear skew";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %10d %10d  %a@." s.at_execution s.at_write Wear.pp_skew
+        s.skew)
+    samples
 
 (* One execution with a logical->physical mapping sampled per access and a
    per-logical-write notification.  Output values are not collected: the
@@ -41,29 +115,40 @@ let execute_mapped (p : Program.t) xbar rng ~map ~on_write =
 
 let total_writes xbar = Array.fold_left ( + ) 0 (Crossbar.write_counts xbar)
 
-let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ~physical_cells ~map ~on_write
-    ~endurance p =
+let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ?sample_every ~physical_cells
+    ~map ~on_write ~endurance p =
   Obs.span "campaign" @@ fun () ->
   Metrics.incr m_campaigns;
   let xbar = Crossbar.create ~endurance physical_cells in
+  let sm =
+    make_sampler ~sample_every ~max_executions ~counts:(fun () ->
+        Crossbar.write_counts xbar)
+  in
+  Crossbar.set_observer xbar (sampler_observer sm);
+  take_sample sm 0;
   let rng = Splitmix.create seed in
+  let finish completed failed =
+    Crossbar.set_observer xbar None;
+    { executions_completed = completed;
+      failed;
+      write_total = total_writes xbar;
+      trajectory = finish_trajectory sm completed }
+  in
   let rec go completed =
-    if completed >= max_executions then
-      { executions_completed = completed; failed = false; write_total = total_writes xbar }
+    if completed >= max_executions then finish completed false
     else
       match execute_mapped p xbar rng ~map:(map xbar) ~on_write:(on_write xbar) with
       | () ->
         Metrics.incr m_executions;
-        go (completed + 1)
-      | exception Crossbar.Cell_failed _ ->
-        { executions_completed = completed;
-          failed = true;
-          write_total = total_writes xbar }
+        let completed = completed + 1 in
+        if completed < max_executions then sample_boundary sm completed;
+        go completed
+      | exception Crossbar.Cell_failed _ -> finish completed true
   in
   go 0
 
-let run_until_failure ?seed ?max_executions ~endurance p =
-  campaign ?seed ?max_executions ~physical_cells:p.Program.num_cells
+let run_until_failure ?seed ?max_executions ?sample_every ~endurance p =
+  campaign ?seed ?max_executions ?sample_every ~physical_cells:p.Program.num_cells
     ~map:(fun _ cell -> cell)
     ~on_write:(fun _ _ -> ())
     ~endurance p
@@ -98,17 +183,25 @@ type degradation = {
   curve : degradation_point list;   (** chronological; one point per capacity change *)
   degraded_write_total : int;
   ended : ended;
+  trajectory : wear_sample list;    (** chronological wear-skew samples *)
+  final_wear : int array;           (** per-cell write counts at campaign end *)
 }
 
 let m_degraded = Metrics.counter "campaign.degraded_runs"
 
-let run_degraded ?(seed = 0xCAFE) ?(max_executions = 100) ?endurance ?(spares = 0)
-    ?(verify = true) ?(fault_spec = Fault_model.none) ?oracle (p : Program.t) =
+let run_degraded ?(seed = 0xCAFE) ?(max_executions = 100) ?sample_every ?endurance
+    ?(spares = 0) ?(verify = true) ?(fault_spec = Fault_model.none) ?oracle
+    (p : Program.t) =
   Obs.span "campaign.degraded" @@ fun () ->
   Metrics.incr m_degraded;
   let lines = p.Program.num_cells in
   let xbar = Crossbar.create ?endurance (lines + spares) in
   let fx = Faulty.create ~spec:fault_spec xbar in
+  let sm =
+    make_sampler ~sample_every ~max_executions ~counts:(fun () -> Faulty.wear_counts fx)
+  in
+  Faulty.set_observer fx (sampler_observer sm);
+  take_sample sm 0;
   let rm = Remap.create ~spares ~lines () in
   let rng = Splitmix.create seed in
   let width = Array.length p.Program.pi_cells in
@@ -149,6 +242,7 @@ let run_degraded ?(seed = 0xCAFE) ?(max_executions = 100) ?endurance ?(spares = 
           last_capacity := Faulty.capacity fx;
           point (completed + 1)
         end;
+        if completed + 1 < max_executions then sample_boundary sm (completed + 1);
         go (completed + 1)
       | Exec.Out_of_spares l ->
         last_capacity := Faulty.capacity fx;
@@ -157,6 +251,7 @@ let run_degraded ?(seed = 0xCAFE) ?(max_executions = 100) ?endurance ?(spares = 
     end
   in
   let executions, ended = go 0 in
+  Faulty.set_observer fx None;
   { executions;
     correct = !correct;
     incorrect = !incorrect;
@@ -171,7 +266,9 @@ let run_degraded ?(seed = 0xCAFE) ?(max_executions = 100) ?endurance ?(spares = 
     spares_remaining = Remap.spares_left rm;
     curve = List.rev !curve;
     degraded_write_total = total_writes xbar;
-    ended }
+    ended;
+    trajectory = finish_trajectory sm executions;
+    final_wear = Faulty.wear_counts fx }
 
 (* ------------------------------------------------------------------ *)
 (* Degradation sweep over a rate x spares grid: each cell is an
@@ -205,7 +302,7 @@ let sweep_degraded ?pool ?seed ?max_executions ?endurance ?(verify = true) ?orac
   | Some p' -> Plim_par.map p' ~f:eval grid
   | None -> List.map eval grid
 
-let run_with_start_gap ?seed ?max_executions ?psi ~endurance p =
+let run_with_start_gap ?seed ?max_executions ?sample_every ?psi ~endurance p =
   let n = p.Program.num_cells in
   let sg = Start_gap.create ?psi n in
   (* a gap move copies a line: one physical write, wear-accurate *)
@@ -221,4 +318,5 @@ let run_with_start_gap ?seed ?max_executions ?psi ~endurance p =
     if Start_gap.total_moves sg > before && gap_target > 0 then
       Crossbar.write xbar gap_target false
   in
-  campaign ?seed ?max_executions ~physical_cells:(n + 1) ~map ~on_write ~endurance p
+  campaign ?seed ?max_executions ?sample_every ~physical_cells:(n + 1) ~map ~on_write
+    ~endurance p

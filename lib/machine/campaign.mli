@@ -9,25 +9,54 @@
 
 module Program = Plim_isa.Program
 
+type wear_sample = {
+  at_execution : int;             (** executions completed at the sample *)
+  at_write : int;                 (** physical writes observed at the sample *)
+  skew : Plim_telemetry.Wear.skew;(** wear-distribution snapshot *)
+}
+(** One point of a wear-trajectory curve.  Samples are taken at fixed
+    execution boundaries through a decimating {!Plim_telemetry.Series},
+    so arbitrarily long campaigns yield bounded curves whose contents
+    are a pure function of the execution sequence — byte-identical
+    between [-j 1] and [-j N] runs. *)
+
+val sample_json : wear_sample -> string
+(** One JSON object [{at_execution, at_write, skew}]. *)
+
+val trajectory_json : wear_sample list -> string
+(** JSON array of {!sample_json} objects — the time-series column of
+    bench results and fault reports. *)
+
+val pp_trajectory : Format.formatter -> wear_sample list -> unit
+(** Human-readable skew time series, one sample per line. *)
+
 type outcome = {
   executions_completed : int;
   failed : bool;              (** false if [max_executions] was reached *)
   write_total : int;          (** physical writes performed overall *)
+  trajectory : wear_sample list;
+      (** chronological wear-skew curve; first point at execution 0,
+          last point at campaign end *)
 }
 
 val run_until_failure :
   ?seed:int ->
   ?max_executions:int ->
+  ?sample_every:int ->
   endurance:int ->
   Program.t ->
   outcome
 (** Repeated executions with fresh random inputs per run on one shared
     crossbar whose cells hard-fail after [endurance] writes.  Stops at the
-    first failure or after [max_executions] (default 100_000). *)
+    first failure or after [max_executions] (default 100_000).
+    [sample_every] sets the wear-sampling period in executions (default
+    [max_executions / 64], at least 1).
+    @raise Invalid_argument when [sample_every < 1]. *)
 
 val run_with_start_gap :
   ?seed:int ->
   ?max_executions:int ->
+  ?sample_every:int ->
   ?psi:int ->
   endurance:int ->
   Program.t ->
@@ -72,11 +101,18 @@ type degradation = {
   curve : degradation_point list;  (** chronological capacity curve *)
   degraded_write_total : int;      (** physical writes, including repair traffic *)
   ended : ended;
+  trajectory : wear_sample list;   (** chronological wear-skew samples;
+                                       counted physical writes only, so
+                                       absorbed writes to stuck cells do
+                                       not inflate the curve *)
+  final_wear : int array;          (** per-physical-cell write counts at
+                                       campaign end — the heatmap grid *)
 }
 
 val run_degraded :
   ?seed:int ->
   ?max_executions:int ->
+  ?sample_every:int ->
   ?endurance:int ->
   ?spares:int ->
   ?verify:bool ->

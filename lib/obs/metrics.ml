@@ -1,5 +1,8 @@
+module Hgram = Plim_telemetry.Histogram
+
 type counter = { c_name : string; count : int Atomic.t }
 type gauge = { g_name : string; mutable level : float }
+type histogram = { h_name : string; hist : Hgram.t }
 
 (* The registry is append-mostly and consulted only at registration and
    snapshot time; hot paths hold the [counter] record directly.  Counter
@@ -10,6 +13,7 @@ type gauge = { g_name : string; mutable level : float }
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let with_lock f =
   Mutex.lock lock;
@@ -47,7 +51,27 @@ let get name =
   with_lock @@ fun () ->
   match Hashtbl.find_opt counters name with Some c -> Atomic.get c.count | None -> 0
 
-type value = Counter of int | Gauge of float
+(* Histogram observations take the registry lock: unlike counter bumps
+   they touch several fields of a shared structure, and their hot paths
+   (phase latencies, snapshot-time wear grids) fire orders of magnitude
+   less often than counters. *)
+let histogram name =
+  with_lock @@ fun () ->
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; hist = Hgram.create () } in
+    Hashtbl.replace histograms name h;
+    h
+
+let observe h v = with_lock @@ fun () -> Hgram.observe h.hist v
+
+let observe_array h xs =
+  with_lock @@ fun () -> Array.iter (fun v -> Hgram.observe h.hist v) xs
+
+let histogram_value h = with_lock @@ fun () -> Hgram.copy h.hist
+
+type value = Counter of int | Gauge of float | Hist of Hgram.t
 
 let snapshot () =
   with_lock @@ fun () ->
@@ -58,17 +82,40 @@ let snapshot () =
   let entries =
     Hashtbl.fold (fun name g acc -> (name, Gauge g.level) :: acc) gauges entries
   in
+  let entries =
+    Hashtbl.fold (fun name h acc -> (name, Hist (Hgram.copy h.hist)) :: acc)
+      histograms entries
+  in
   List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 let reset () =
   with_lock @@ fun () ->
   Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counters;
-  Hashtbl.iter (fun _ g -> g.level <- 0.0) gauges
+  Hashtbl.iter (fun _ g -> g.level <- 0.0) gauges;
+  Hashtbl.iter (fun _ h -> Hgram.clear h.hist) histograms
 
 let pp_snapshot ppf entries =
   List.iter
     (fun (name, v) ->
       match v with
       | Counter c -> Format.fprintf ppf "%-28s %d@." name c
-      | Gauge g -> Format.fprintf ppf "%-28s %g@." name g)
+      | Gauge g -> Format.fprintf ppf "%-28s %g@." name g
+      | Hist h -> Format.fprintf ppf "%-28s %a@." name Hgram.pp h)
     entries
+
+(* The single JSON exposition path: counters, gauges and histograms in
+   one sorted document. *)
+let to_json () =
+  let entries = snapshot () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"plim-metrics/v1\",\"metrics\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      match v with
+      | Counter c -> Printf.bprintf b "%S:%d" name c
+      | Gauge g -> Printf.bprintf b "%S:%.6g" name g
+      | Hist h -> Printf.bprintf b "%S:%s" name (Hgram.to_json h))
+    entries;
+  Buffer.add_string b "}}";
+  Buffer.contents b

@@ -31,7 +31,13 @@ let span name f =
       let s = { name; start; duration = Clock.now () -. start; depth } in
       Mutex.lock lock;
       recorded := s :: !recorded;
-      Mutex.unlock lock
+      Mutex.unlock lock;
+      (* Feed the per-phase latency distribution (microseconds).  These
+         are wall-clock values: they belong in metrics expositions and
+         never in deterministic bench output. *)
+      Metrics.observe
+        (Metrics.histogram ("profile." ^ name))
+        (max 0 (int_of_float (s.duration *. 1e6)))
     in
     match f () with
     | v ->

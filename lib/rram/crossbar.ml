@@ -7,6 +7,7 @@ type t = {
   transitions : int array;
   failed : Bytes.t;
   endurance : int option;
+  mutable observer : (cell:int -> writes:int -> unit) option;
 }
 
 exception Cell_failed of int
@@ -22,7 +23,10 @@ let create ?endurance n =
     writes = Array.make n 0;
     transitions = Array.make n 0;
     failed = Bytes.make n '\000';
-    endurance }
+    endurance;
+    observer = None }
+
+let set_observer t obs = t.observer <- obs
 
 let size t = Array.length t.writes
 
@@ -52,6 +56,9 @@ let apply_write t i b =
   if Bytes.get t.failed i <> '\000' then raise (Cell_failed i);
   t.writes.(i) <- t.writes.(i) + 1;
   Metrics.incr m_writes;
+  (match t.observer with
+   | Some f -> f ~cell:i ~writes:t.writes.(i)
+   | None -> ());
   if get t i <> b then t.transitions.(i) <- t.transitions.(i) + 1;
   set_state t i b;
   if Trace.enabled () then

@@ -49,6 +49,14 @@ val load : t -> int -> bool -> unit
     measures computation writes only).
     @raise Cell_failed if the cell has hard-failed. *)
 
+val set_observer : t -> (cell:int -> writes:int -> unit) option -> unit
+(** Install (or clear, with [None]) the wear observer: a hook invoked
+    synchronously on every {e counted} write — after the cell's write
+    counter is bumped, before the endurance check — with the cell index
+    and its new cumulative write count.  One observer per crossbar;
+    telemetry samplers use it to snapshot wear without polling
+    {!write_counts} on hot paths.  [load] (uncounted) never fires it. *)
+
 val writes : t -> int -> int
 val write_counts : t -> int array
 val transitions : t -> int -> int

@@ -5,6 +5,9 @@ type summary = {
   total : int;
   mean : float;
   stdev : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
 }
 
 let mean xs =
@@ -27,7 +30,9 @@ let stdev xs =
     sqrt (acc /. float_of_int n)
   end
 
-let zero_summary = { count = 0; min = 0; max = 0; total = 0; mean = 0.0; stdev = 0.0 }
+let zero_summary =
+  { count = 0; min = 0; max = 0; total = 0; mean = 0.0; stdev = 0.0;
+    p50 = 0; p90 = 0; p99 = 0 }
 
 let summarize xs =
   let n = Array.length xs in
@@ -41,12 +46,22 @@ let summarize xs =
         total := !total + x)
       xs;
     let floats = Array.map float_of_int xs in
+    (* sort once for all three quantiles instead of three [quantile] calls *)
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let nearest_rank q =
+      let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+    in
     { count = n;
       min = !mn;
       max = !mx;
       total = !total;
       mean = mean floats;
-      stdev = stdev floats }
+      stdev = stdev floats;
+      p50 = nearest_rank 0.50;
+      p90 = nearest_rank 0.90;
+      p99 = nearest_rank 0.99 }
   end
 
 let improvement_pct ~baseline v =
@@ -88,6 +103,13 @@ let gini xs =
     end
   end
 
+(* Max-to-mean wear ratio: 1.0 = perfectly levelled, grows as writes
+   concentrate.  The lifetime tail WoLFRaM-style levelling targets. *)
+let max_mean_ratio s =
+  if s.mean = 0.0 then if s.max = 0 then 1.0 else float_of_int s.max
+  else float_of_int s.max /. s.mean
+
 let pp_summary ppf s =
-  Format.fprintf ppf "cells=%d min=%d max=%d total=%d mean=%.2f stdev=%.2f"
-    s.count s.min s.max s.total s.mean s.stdev
+  Format.fprintf ppf
+    "cells=%d min=%d max=%d total=%d mean=%.2f stdev=%.2f p50=%d p90=%d p99=%d"
+    s.count s.min s.max s.total s.mean s.stdev s.p50 s.p90 s.p99

@@ -12,10 +12,14 @@ type summary = {
   total : int;          (** sum of all write counts *)
   mean : float;
   stdev : float;        (** population standard deviation *)
+  p50 : int;            (** median write count (nearest-rank) *)
+  p90 : int;
+  p99 : int;            (** the wear tail that bounds device lifetime *)
 }
 
 val summarize : int array -> summary
-(** The empty array summarises to {!zero_summary}. *)
+(** The empty array summarises to {!zero_summary}.  Quantiles are
+    nearest-rank, consistent with {!quantile}. *)
 
 val zero_summary : summary
 (** All fields zero — the summary of no cells at all. *)
@@ -45,5 +49,9 @@ val gini : int array -> float
 (** Gini coefficient of the write distribution: 0 = perfectly balanced,
     -> 1 = concentrated on few cells.  A secondary balance metric used in
     the ablation benches. *)
+
+val max_mean_ratio : summary -> float
+(** Max-to-mean wear ratio of a summary: 1.0 when perfectly levelled.
+    Returns 1.0 for all-zero distributions (nothing is concentrated). *)
 
 val pp_summary : Format.formatter -> summary -> unit

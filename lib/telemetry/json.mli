@@ -1,0 +1,28 @@
+(** Minimal JSON reader for plim-bench result files.
+
+    Dependency-free recursive-descent parser into a plain value tree.
+    Objects preserve key order; all numbers become floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+(** @raise Parse_error with an offset-bearing message on malformed input. *)
+
+val parse_file : string -> (t, string) result
+(** Reads and parses a whole file; IO errors become [Error]. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val to_float : t -> float option
+val to_string : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,256 @@
+(* Trajectory engine: diff two plim-bench result files (v1 or v2) and
+   decide whether the newer one is a perf/endurance regression.
+
+   Every tracked metric is a cost — instructions, devices, write
+   maximum/stdev/tail, storage spans, wear skew — so "worse" always
+   means "larger".  A metric regresses when it grows beyond BOTH the
+   relative threshold and the absolute epsilon, which keeps identical
+   runs at exactly zero regressions (the CI perf-gate invariant) while
+   tolerating genuine noise when a human lowers the threshold to 0.
+
+   Wall-clock phases deliberately do not gate: they vary run to run and
+   between machines.  They are reported separately as context. *)
+
+type delta = {
+  benchmark : string;
+  config : string;
+  metric : string;
+  baseline : float;
+  current : float;
+  change_pct : float;   (* (current - baseline) / baseline * 100 *)
+  regression : bool;
+}
+
+type comparison = {
+  baseline_path : string;
+  current_path : string;
+  baseline_schema : string;
+  current_schema : string;
+  threshold_pct : float;
+  min_abs : float;
+  deltas : delta list;            (* every compared metric, file order *)
+  regressions : delta list;       (* worst (by change_pct) first *)
+  improvements : delta list;      (* metrics that shrank beyond threshold *)
+  baseline_only : string list;    (* benchmark/config keys that vanished *)
+  current_only : string list;     (* keys with no baseline to compare *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Row extraction: one row per benchmark x config, metrics flattened to
+   (name, value) pairs.  v1 files simply lack the quantile and skew
+   fields; only metrics present in BOTH files are compared, which is
+   the whole v1 -> v2 migration story. *)
+
+let num path j = Option.bind (Json.member path j) Json.to_float
+
+let sub_num obj field j =
+  Option.bind (Json.member obj j) (fun o -> num field o)
+
+let metrics_of_config c =
+  let take name v acc = match v with Some f -> (name, f) :: acc | None -> acc in
+  []
+  |> take "instructions" (num "instructions" c)
+  |> take "rram_cells" (num "rram_cells" c)
+  |> take "writes.total" (sub_num "writes" "total" c)
+  |> take "writes.max" (sub_num "writes" "max" c)
+  |> take "writes.stdev" (sub_num "writes" "stdev" c)
+  |> take "writes.p50" (sub_num "writes" "p50" c)
+  |> take "writes.p90" (sub_num "writes" "p90" c)
+  |> take "writes.p99" (sub_num "writes" "p99" c)
+  |> take "skew.gini" (sub_num "skew" "gini" c)
+  |> take "skew.max_mean" (sub_num "skew" "max_mean" c)
+  |> take "storage.total_span" (sub_num "storage" "total_span" c)
+  |> take "storage.max_span" (sub_num "storage" "max_span" c)
+  |> take "dead_writes" (num "dead_writes" c)
+  |> List.rev
+
+type row = {
+  r_benchmark : string;
+  r_config : string;
+  r_metrics : (string * float) list;
+}
+
+let schema_of j =
+  match Option.bind (Json.member "schema" j) Json.to_string with
+  | Some s -> s
+  | None -> "unknown"
+
+let rows_of j =
+  match Option.bind (Json.member "benchmarks" j) Json.to_list with
+  | None -> Error "no \"benchmarks\" array (not a plim-bench file?)"
+  | Some benchmarks ->
+    let rows =
+      List.concat_map
+        (fun b ->
+          let name =
+            Option.value ~default:"?"
+              (Option.bind (Json.member "name" b) Json.to_string)
+          in
+          let configs =
+            Option.value ~default:[]
+              (Option.bind (Json.member "configs" b) Json.to_list)
+          in
+          List.map
+            (fun c ->
+              let config =
+                Option.value ~default:"?"
+                  (Option.bind (Json.member "config" c) Json.to_string)
+              in
+              { r_benchmark = name; r_config = config;
+                r_metrics = metrics_of_config c })
+            configs)
+        benchmarks
+    in
+    Ok rows
+
+let key r = r.r_benchmark ^ "/" ^ r.r_config
+
+let shrank d ~threshold_pct ~min_abs =
+  d.baseline -. d.current > min_abs
+  && d.current < d.baseline *. (1.0 -. (threshold_pct /. 100.0))
+
+let rec keep n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: keep (n - 1) tl
+
+(* ------------------------------------------------------------------ *)
+
+let compare_json ?(threshold_pct = 2.0) ?(min_abs = 1e-9) ~baseline_path ~current_path
+    baseline current =
+  let ( let* ) = Result.bind in
+  let* base_rows = rows_of baseline in
+  let* cur_rows = rows_of current in
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace cur_tbl (key r) r) cur_rows;
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace base_tbl (key r) r) base_rows;
+  let deltas =
+    List.concat_map
+      (fun br ->
+        match Hashtbl.find_opt cur_tbl (key br) with
+        | None -> []
+        | Some cr ->
+          List.filter_map
+            (fun (metric, bv) ->
+              match List.assoc_opt metric cr.r_metrics with
+              | None -> None
+              | Some cv ->
+                let change_pct =
+                  if bv = 0.0 then if cv = 0.0 then 0.0 else 100.0
+                  else (cv -. bv) /. bv *. 100.0
+                in
+                let grew = cv -. bv > min_abs in
+                let regression =
+                  grew
+                  && (if bv = 0.0 then true
+                      else cv > bv *. (1.0 +. (threshold_pct /. 100.0)))
+                in
+                Some
+                  { benchmark = br.r_benchmark;
+                    config = br.r_config;
+                    metric;
+                    baseline = bv;
+                    current = cv;
+                    change_pct;
+                    regression })
+            br.r_metrics)
+      base_rows
+  in
+  let regressions =
+    List.filter (fun d -> d.regression) deltas
+    |> List.sort (fun a b -> compare b.change_pct a.change_pct)
+  in
+  let improvements =
+    List.filter (fun d -> shrank d ~threshold_pct ~min_abs) deltas
+    |> List.sort (fun a b -> compare a.change_pct b.change_pct)
+  in
+  let baseline_only =
+    List.filter_map
+      (fun r -> if Hashtbl.mem cur_tbl (key r) then None else Some (key r))
+      base_rows
+  in
+  let current_only =
+    List.filter_map
+      (fun r -> if Hashtbl.mem base_tbl (key r) then None else Some (key r))
+      cur_rows
+  in
+  Ok
+    { baseline_path;
+      current_path;
+      baseline_schema = schema_of baseline;
+      current_schema = schema_of current;
+      threshold_pct;
+      min_abs;
+      deltas;
+      regressions;
+      improvements;
+      baseline_only;
+      current_only }
+
+let compare_files ?threshold_pct ?min_abs ~baseline ~current () =
+  let ( let* ) = Result.bind in
+  let* bj = Json.parse_file baseline in
+  let* cj = Json.parse_file current in
+  compare_json ?threshold_pct ?min_abs ~baseline_path:baseline ~current_path:current bj
+    cj
+
+let has_regressions c = c.regressions <> []
+
+(* ------------------------------------------------------------------ *)
+
+let render ?(verbose = false) c =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "perf report: %s (%s) vs %s (%s)\n" c.current_path c.current_schema
+    c.baseline_path c.baseline_schema;
+  Printf.bprintf b "  %d metrics compared, threshold +%.2f%%\n" (List.length c.deltas)
+    c.threshold_pct;
+  let row d =
+    Printf.bprintf b "  %-12s %-24s %-18s %12.6g -> %-12.6g %+7.2f%%\n" d.benchmark
+      d.config d.metric d.baseline d.current d.change_pct
+  in
+  if c.regressions <> [] then begin
+    Printf.bprintf b "REGRESSIONS (%d):\n" (List.length c.regressions);
+    List.iter row c.regressions
+  end;
+  if c.improvements <> [] then begin
+    Printf.bprintf b "improvements (%d):\n" (List.length c.improvements);
+    List.iter row (if verbose then c.improvements else keep 10 c.improvements);
+    if (not verbose) && List.length c.improvements > 10 then
+      Printf.bprintf b "  ... %d more (use --verbose)\n"
+        (List.length c.improvements - 10)
+  end;
+  List.iter (Printf.bprintf b "  gone from current: %s\n") c.baseline_only;
+  List.iter (Printf.bprintf b "  new in current: %s\n") c.current_only;
+  Printf.bprintf b "%d regressions, %d improvements\n" (List.length c.regressions)
+    (List.length c.improvements);
+  Buffer.contents b
+
+let to_json c =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "{\"schema\":\"plim-report/v1\",\"baseline\":%S,\"current\":%S,\"threshold_pct\":%g,\"compared\":%d,\"regressions\":["
+    c.baseline_path c.current_path c.threshold_pct (List.length c.deltas);
+  let row i d =
+    if i > 0 then Buffer.add_char b ',';
+    Printf.bprintf b
+      "{\"benchmark\":%S,\"config\":%S,\"metric\":%S,\"baseline\":%.6g,\"current\":%.6g,\"change_pct\":%.6g}"
+      d.benchmark d.config d.metric d.baseline d.current d.change_pct
+  in
+  List.iteri row c.regressions;
+  Buffer.add_string b "],\"improvements\":[";
+  List.iteri row c.improvements;
+  Buffer.add_string b "],\"baseline_only\":[";
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S" k)
+    c.baseline_only;
+  Buffer.add_string b "],\"current_only\":[";
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S" k)
+    c.current_only;
+  Buffer.add_string b "]}";
+  Buffer.contents b

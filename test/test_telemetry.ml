@@ -1,0 +1,445 @@
+(* Telemetry layer: histogram laws (merge algebra, quantile brackets,
+   -j determinism), bounded time series, wear snapshots, the JSON reader
+   and the trajectory-engine regression gate. *)
+
+module Hgram = Plim_telemetry.Histogram
+module Series = Plim_telemetry.Series
+module Wear = Plim_telemetry.Wear
+module Json = Plim_telemetry.Json
+module Report = Plim_telemetry.Report
+module Stats = Plim_stats.Stats
+module Splitmix = Plim_util.Splitmix
+module Metrics = Plim_obs.Metrics
+module Campaign = Plim_machine.Campaign
+module Pipeline = Plim_core.Pipeline
+module Suite = Plim_benchgen.Suite
+module Fault_model = Plim_fault.Fault_model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let random_array rng len bound = Array.init len (fun _ -> Splitmix.int rng bound)
+
+(* --- histogram basics ------------------------------------------------- *)
+
+let test_hist_basic () =
+  let h = Hgram.create () in
+  check_int "empty count" 0 (Hgram.count h);
+  check_int "empty quantile" 0 (Hgram.quantile h 0.5);
+  check_int "empty min" 0 (Hgram.min_value h);
+  check_int "empty max" 0 (Hgram.max_value h);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Hgram.mean h);
+  List.iter (Hgram.observe h) [ 3; 1; 4; 1; 5 ];
+  check_int "count" 5 (Hgram.count h);
+  check_int "sum" 14 (Hgram.sum h);
+  check_int "min" 1 (Hgram.min_value h);
+  check_int "max" 5 (Hgram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 2.8 (Hgram.mean h);
+  (* small values live in exact buckets: quantiles are exact *)
+  check_int "p50 exact below 32" 3 (Hgram.p50 h);
+  check_int "q1.0 = max" 5 (Hgram.quantile h 1.0);
+  Hgram.observe ~n:3 h 7;
+  check_int "weighted count" 8 (Hgram.count h);
+  check_int "weighted sum" 35 (Hgram.sum h);
+  Alcotest.check_raises "negative value" (Invalid_argument "Histogram.observe: negative value")
+    (fun () -> Hgram.observe h (-1));
+  Hgram.clear h;
+  check_int "cleared" 0 (Hgram.count h);
+  check_bool "cleared equals fresh" true (Hgram.equal h (Hgram.create ()))
+
+let test_hist_of_array () =
+  let rng = Splitmix.create 0x7E1E in
+  let xs = random_array rng 500 10_000 in
+  let h = Hgram.of_array xs in
+  let h' = Hgram.create () in
+  Array.iter (fun v -> Hgram.observe h' v) xs;
+  check_bool "of_array = fold observe" true (Hgram.equal h h');
+  check_int "count" 500 (Hgram.count h);
+  check_int "sum" (Array.fold_left ( + ) 0 xs) (Hgram.sum h);
+  check_int "min exact" (Array.fold_left min max_int xs) (Hgram.min_value h);
+  check_int "max exact" (Array.fold_left max 0 xs) (Hgram.max_value h)
+
+(* --- merge algebra ---------------------------------------------------- *)
+
+let test_hist_merge_laws () =
+  let rng = Splitmix.create 0xABCD in
+  for trial = 0 to 19 do
+    (* wide value ranges so sub-32 exact buckets, log buckets and
+       different bucket-array lengths all participate *)
+    let bound = 1 lsl (4 + (trial mod 12)) in
+    let a = Hgram.of_array (random_array rng (1 + Splitmix.int rng 200) bound) in
+    let b = Hgram.of_array (random_array rng (1 + Splitmix.int rng 200) (2 * bound)) in
+    let c = Hgram.of_array (random_array rng (1 + Splitmix.int rng 200) 16) in
+    check_bool "commutative" true (Hgram.equal (Hgram.merge a b) (Hgram.merge b a));
+    check_bool "associative" true
+      (Hgram.equal
+         (Hgram.merge (Hgram.merge a b) c)
+         (Hgram.merge a (Hgram.merge b c)));
+    check_bool "empty is identity" true
+      (Hgram.equal (Hgram.merge a (Hgram.create ())) a);
+    (* merge = histogram of the concatenation *)
+    let m = Hgram.merge a b in
+    check_int "merged count" (Hgram.count a + Hgram.count b) (Hgram.count m);
+    check_int "merged sum" (Hgram.sum a + Hgram.sum b) (Hgram.sum m)
+  done
+
+(* --- quantile brackets vs exact sorted-array quantiles ---------------- *)
+
+let test_hist_quantile_bounds () =
+  let rng = Splitmix.create 0x9A17 in
+  let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+  for trial = 0 to 29 do
+    let len = 1 + Splitmix.int rng 400 in
+    let bound = 1 + (1 lsl (trial mod 20)) in
+    let xs = random_array rng len bound in
+    let h = Hgram.of_array xs in
+    List.iter
+      (fun q ->
+        let exact = Stats.quantile q xs in
+        let est = Hgram.quantile h q in
+        let _, high = Hgram.value_bounds exact in
+        check_bool
+          (Printf.sprintf "q%.2f: exact %d <= est %d (len %d bound %d)" q exact est
+             len bound)
+          true (exact <= est);
+        check_bool
+          (Printf.sprintf "q%.2f: est %d <= bucket-high %d" q est high)
+          true (est <= high);
+        check_bool "est within recorded range" true
+          (est >= Hgram.min_value h && est <= Hgram.max_value h))
+      qs;
+    check_int "q1.0 is exact max" (Array.fold_left max 0 xs) (Hgram.quantile h 1.0)
+  done
+
+(* --- determinism under Plim_par.map_reduce ---------------------------- *)
+
+let test_hist_par_determinism () =
+  let chunks =
+    List.init 16 (fun i ->
+        let rng = Splitmix.create (Splitmix.derive 0xDE7E i) in
+        random_array rng 200 (1 lsl (3 + (i mod 10))))
+  in
+  let fold_with jobs =
+    Plim_par.with_pool ~jobs (fun pool ->
+        Plim_par.map_reduce pool ~f:Hgram.of_array ~init:(Hgram.create ())
+          ~combine:Hgram.merge chunks)
+  in
+  let seq =
+    List.fold_left (fun acc xs -> Hgram.merge acc (Hgram.of_array xs))
+      (Hgram.create ()) chunks
+  in
+  let j1 = fold_with 1 and j4 = fold_with 4 in
+  check_bool "-j1 = sequential" true (Hgram.equal seq j1);
+  check_bool "-j4 = -j1" true (Hgram.equal j1 j4);
+  Alcotest.(check string) "identical JSON" (Hgram.to_json j1) (Hgram.to_json j4)
+
+(* --- series ------------------------------------------------------------ *)
+
+let test_series_ring () =
+  let s = Series.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Series.offer s i
+  done;
+  Alcotest.(check (list int)) "last capacity samples" [ 6; 7; 8; 9 ] (Series.to_list s);
+  check_int "length" 4 (Series.length s);
+  check_int "offered" 10 (Series.offered s);
+  Alcotest.(check (option int)) "last" (Some 9) (Series.last s);
+  Series.clear s;
+  check_int "cleared" 0 (Series.length s);
+  Alcotest.check_raises "capacity < 2" (Invalid_argument "Series.create: capacity must be >= 2")
+    (fun () -> ignore (Series.create ~capacity:1 () : int Series.t))
+
+let test_series_decimate () =
+  (* offering the sample index makes the retention contract checkable:
+     the store must hold exactly 0, stride, 2*stride, ... *)
+  List.iter
+    (fun n ->
+      let s = Series.create ~policy:Series.Decimate ~capacity:8 () in
+      for i = 0 to n - 1 do
+        Series.offer s i
+      done;
+      let kept = Series.to_list s in
+      check_bool (Printf.sprintf "bounded (%d offers)" n) true
+        (Series.length s <= Series.capacity s);
+      let stride = Series.stride s in
+      check_bool "stride is a power of two" true (stride land (stride - 1) = 0);
+      if n > 0 then begin
+        check_int "first sample always retained" 0 (List.hd kept);
+        List.iteri (fun i v -> check_int "stride grid" (i * stride) v) kept
+      end)
+    [ 0; 1; 7; 8; 9; 64; 1000; 4097 ]
+
+(* --- wear snapshots ---------------------------------------------------- *)
+
+let test_wear_skew () =
+  let s = Wear.skew_of [| 5; 5; 5; 5 |] in
+  Alcotest.(check (float 1e-9)) "level gini" 0.0 s.Wear.gini;
+  Alcotest.(check (float 1e-9)) "level max/mean" 1.0 s.Wear.max_mean;
+  Alcotest.(check (float 1e-9)) "level stdev" 0.0 s.Wear.stdev;
+  check_int "total" 20 s.Wear.total;
+  let s = Wear.skew_of [| 0; 0; 0; 4 |] in
+  Alcotest.(check (float 1e-9)) "concentrated gini" 0.75 s.Wear.gini;
+  Alcotest.(check (float 1e-9)) "concentrated max/mean" 4.0 s.Wear.max_mean;
+  check_int "p99 tail" 4 s.Wear.p99;
+  let empty = Wear.skew_of [||] in
+  check_int "empty cells" 0 empty.Wear.cells;
+  Alcotest.(check (float 1e-9)) "empty max/mean" 1.0 empty.Wear.max_mean
+
+let test_wear_heatmap () =
+  let counts = Array.init 40 (fun i -> i) in
+  let text = Wear.heatmap ~width:8 counts in
+  check_bool "has scale legend" true (contains ~affix:"scale:" text);
+  check_bool "max in legend" true (contains ~affix:"max=39" text);
+  (* 40 cells at width 8 = 5 rows + legend *)
+  check_int "row count" 6
+    (List.length (String.split_on_char '\n' (String.trim text)));
+  let j = Wear.heatmap_json ~width:8 ~label:"t" counts in
+  match Json.parse j with
+  | Error e -> Alcotest.failf "heatmap_json unparsable: %s" e
+  | Ok doc ->
+    Alcotest.(check (option string)) "label" (Some "t")
+      (Option.bind (Json.member "label" doc) Json.to_string);
+    (match Option.bind (Json.member "counts" doc) Json.to_list with
+    | Some l -> check_int "counts roundtrip" 40 (List.length l)
+    | None -> Alcotest.fail "no counts array");
+    (match Option.bind (Json.member "skew" doc) (Json.member "gini") with
+    | Some _ -> ()
+    | None -> Alcotest.fail "no skew.gini")
+
+(* --- JSON reader -------------------------------------------------------- *)
+
+let test_json_parse () =
+  let doc = {|{"a": [1, 2.5, -3e2], "s": "x\ny", "t": true, "n": null}|} in
+  (match Json.parse doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+    (match Option.bind (Json.member "a" j) Json.to_list with
+    | Some [ x; y; z ] ->
+      Alcotest.(check (float 1e-9)) "int" 1.0 (Option.get (Json.to_float x));
+      Alcotest.(check (float 1e-9)) "frac" 2.5 (Option.get (Json.to_float y));
+      Alcotest.(check (float 1e-9)) "exp" (-300.0) (Option.get (Json.to_float z))
+    | _ -> Alcotest.fail "array shape");
+    Alcotest.(check (option string)) "escapes" (Some "x\ny")
+      (Option.bind (Json.member "s" j) Json.to_string);
+    check_bool "missing member" true (Json.member "zz" j = None));
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "12 34"; "\"unterminated"; "nulll" ]
+
+(* --- trajectory engine / regression gate -------------------------------- *)
+
+let bench_doc ~schema ~max_writes ~extra =
+  Printf.sprintf
+    {|{"schema":"%s","generated_at":0,"benchmarks":[
+       {"name":"b1","configs":[
+         {"config":"naive","instructions":100,"rram_cells":20,
+          "writes":{"min":1,"max":%d,"total":500,"mean":25,"stdev":9.5}%s}]}],
+      "phases":[{"name":"translate","calls":1,"total_s":1.0}]}|}
+    schema max_writes extra
+
+let v2_extra = {|,"skew":{"gini":0.31,"max_mean":2.4}|}
+
+let parse_exn s = Json.parse_exn s
+
+let test_report_identical () =
+  let doc = bench_doc ~schema:"plim-bench/v2" ~max_writes:40 ~extra:v2_extra in
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn doc)
+      (parse_exn doc)
+  with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "no regressions on identical docs" false (Report.has_regressions c);
+    check_int "no improvements either" 0 (List.length c.Report.improvements);
+    check_bool "metrics were compared" true (List.length c.Report.deltas >= 5);
+    check_bool "summary line" true
+      (contains ~affix:"0 regressions" (Report.render c))
+
+let test_report_regression () =
+  let base = bench_doc ~schema:"plim-bench/v2" ~max_writes:40 ~extra:v2_extra in
+  let cur = bench_doc ~schema:"plim-bench/v2" ~max_writes:55 ~extra:v2_extra in
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+      (parse_exn cur)
+  with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "regression detected" true (Report.has_regressions c);
+    (match c.Report.regressions with
+    | [ d ] ->
+      Alcotest.(check string) "metric" "writes.max" d.Report.metric;
+      Alcotest.(check string) "benchmark" "b1" d.Report.benchmark;
+      Alcotest.(check (float 1e-6)) "change pct" 37.5 d.Report.change_pct
+    | l -> Alcotest.failf "expected exactly 1 regression, got %d" (List.length l));
+    (* the other direction is an improvement, not a regression *)
+    (match
+       Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn cur)
+         (parse_exn base)
+     with
+    | Ok c' ->
+      check_bool "improvement direction never gates" false (Report.has_regressions c');
+      check_int "one improvement" 1 (List.length c'.Report.improvements)
+    | Error e -> Alcotest.failf "compare failed: %s" e)
+
+let test_report_v1_migration () =
+  (* a v1 baseline has no skew/quantile columns: only the shared metrics
+     are compared, and their absence is not a regression *)
+  let v1 = bench_doc ~schema:"plim-bench/v1" ~max_writes:40 ~extra:"" in
+  let v2 = bench_doc ~schema:"plim-bench/v2" ~max_writes:40 ~extra:v2_extra in
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn v1)
+      (parse_exn v2)
+  with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "no regressions across schemas" false (Report.has_regressions c);
+    check_bool "skew not compared against v1" true
+      (List.for_all (fun d -> not (contains ~affix:"skew" d.Report.metric))
+         c.Report.deltas);
+    Alcotest.(check string) "baseline schema" "plim-bench/v1" c.Report.baseline_schema;
+    Alcotest.(check string) "current schema" "plim-bench/v2" c.Report.current_schema
+
+let test_report_threshold () =
+  let base = bench_doc ~schema:"plim-bench/v2" ~max_writes:100 ~extra:v2_extra in
+  let cur = bench_doc ~schema:"plim-bench/v2" ~max_writes:101 ~extra:v2_extra in
+  let compare_at threshold =
+    match
+      Report.compare_json ~threshold_pct:threshold ~baseline_path:"a"
+        ~current_path:"b" (parse_exn base) (parse_exn cur)
+    with
+    | Ok c -> Report.has_regressions c
+    | Error e -> Alcotest.failf "compare failed: %s" e
+  in
+  check_bool "+1% under default 2% threshold" false (compare_at 2.0);
+  check_bool "+1% over 0.5% threshold" true (compare_at 0.5)
+
+let test_report_missing_rows () =
+  let base = bench_doc ~schema:"plim-bench/v2" ~max_writes:40 ~extra:v2_extra in
+  let empty =
+    {|{"schema":"plim-bench/v2","generated_at":0,"benchmarks":[],"phases":[]}|}
+  in
+  (match
+     Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+       (parse_exn empty)
+   with
+  | Ok c ->
+    Alcotest.(check (list string)) "vanished rows" [ "b1/naive" ] c.Report.baseline_only;
+    check_bool "vanished rows do not gate" false (Report.has_regressions c)
+  | Error e -> Alcotest.failf "compare failed: %s" e);
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn "{}")
+      (parse_exn base)
+  with
+  | Ok _ -> Alcotest.fail "accepted a non-bench document"
+  | Error _ -> ()
+
+(* --- metrics registry exposition ---------------------------------------- *)
+
+let test_metrics_histogram () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.latency" in
+  Metrics.observe h 10;
+  Metrics.observe_array h [| 20; 30 |];
+  check_int "observations recorded" 3 (Hgram.count (Metrics.histogram_value h));
+  let entries = Metrics.snapshot () in
+  (match List.assoc_opt "test.latency" entries with
+  | Some (Metrics.Hist hv) -> check_int "snapshot copy" 3 (Hgram.count hv)
+  | _ -> Alcotest.fail "histogram missing from snapshot");
+  let json = Metrics.to_json () in
+  check_bool "single exposition schema" true (contains ~affix:"plim-metrics/v1" json);
+  check_bool "histogram in JSON dump" true (contains ~affix:"\"test.latency\":{" json);
+  (match Json.parse json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "metrics JSON unparsable: %s" e);
+  Metrics.reset ();
+  check_int "reset clears" 0 (Hgram.count (Metrics.histogram_value h))
+
+(* --- campaign wear trajectory ------------------------------------------- *)
+
+let compiled_dec4 () =
+  let g = Suite.build_cached (Suite.find "dec4") in
+  ((Pipeline.compile Pipeline.endurance_full g).Pipeline.program, g)
+
+let test_campaign_trajectory () =
+  let p, _ = compiled_dec4 () in
+  let run () =
+    Campaign.run_degraded ~seed:0x7EAC ~max_executions:60 ~sample_every:10
+      ~endurance:500 ~spares:4 ~verify:true
+      ~fault_spec:(Fault_model.make ~transient:1e-3 ~seed:0x11 ())
+      p
+  in
+  let d = run () in
+  let traj = d.Campaign.trajectory in
+  check_bool "trajectory non-empty" true (List.length traj >= 2);
+  let first = List.hd traj in
+  check_int "starts at execution 0" 0 first.Campaign.at_execution;
+  check_int "starts at write 0" 0 first.Campaign.at_write;
+  let final = List.nth traj (List.length traj - 1) in
+  check_int "ends at campaign end" d.Campaign.executions final.Campaign.at_execution;
+  let rec monotone : Campaign.wear_sample list -> unit = function
+    | a :: (b :: _ as tl) ->
+      check_bool "execution clock monotone" true
+        (a.Campaign.at_execution < b.Campaign.at_execution);
+      check_bool "write clock monotone" true (a.Campaign.at_write <= b.Campaign.at_write);
+      check_bool "total wear monotone" true
+        (a.Campaign.skew.Wear.total <= b.Campaign.skew.Wear.total);
+      monotone tl
+    | _ -> ()
+  in
+  monotone traj;
+  check_int "final_wear covers the physical array (incl. spares)"
+    (Plim_isa.Program.num_cells p + 4)
+    (Array.length d.Campaign.final_wear);
+  (* the trajectory is a pure function of the campaign: replays are
+     byte-identical, which is what keeps -j 1 == -j N *)
+  let d' = run () in
+  Alcotest.(check string) "replay identical"
+    (Campaign.trajectory_json traj)
+    (Campaign.trajectory_json d'.Campaign.trajectory);
+  match Json.parse (Campaign.trajectory_json traj) with
+  | Ok (Json.Arr l) -> check_int "JSON points" (List.length traj) (List.length l)
+  | Ok _ -> Alcotest.fail "trajectory JSON is not an array"
+  | Error e -> Alcotest.failf "trajectory JSON unparsable: %s" e
+
+let test_campaign_sampler_validation () =
+  let p, _ = compiled_dec4 () in
+  Alcotest.check_raises "sample_every must be >= 1"
+    (Invalid_argument "Campaign: sample_every must be >= 1") (fun () ->
+      ignore (Campaign.run_until_failure ~sample_every:0 ~endurance:1000 p))
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "histogram",
+        [ Alcotest.test_case "basics" `Quick test_hist_basic;
+          Alcotest.test_case "of_array" `Quick test_hist_of_array;
+          Alcotest.test_case "merge laws" `Quick test_hist_merge_laws;
+          Alcotest.test_case "quantile brackets" `Quick test_hist_quantile_bounds;
+          Alcotest.test_case "map_reduce determinism" `Quick test_hist_par_determinism
+        ] );
+      ( "series",
+        [ Alcotest.test_case "ring window" `Quick test_series_ring;
+          Alcotest.test_case "decimate sketch" `Quick test_series_decimate ] );
+      ( "wear",
+        [ Alcotest.test_case "skew metrics" `Quick test_wear_skew;
+          Alcotest.test_case "heatmap" `Quick test_wear_heatmap ] );
+      ( "json", [ Alcotest.test_case "reader" `Quick test_json_parse ] );
+      ( "report",
+        [ Alcotest.test_case "identical -> zero" `Quick test_report_identical;
+          Alcotest.test_case "regression detected" `Quick test_report_regression;
+          Alcotest.test_case "v1 -> v2 migration" `Quick test_report_v1_migration;
+          Alcotest.test_case "threshold knob" `Quick test_report_threshold;
+          Alcotest.test_case "missing rows" `Quick test_report_missing_rows ] );
+      ( "metrics",
+        [ Alcotest.test_case "histogram exposition" `Quick test_metrics_histogram ] );
+      ( "campaign",
+        [ Alcotest.test_case "wear trajectory" `Quick test_campaign_trajectory;
+          Alcotest.test_case "sampler validation" `Quick test_campaign_sampler_validation
+        ] ) ]

@@ -212,11 +212,24 @@ let test_stats_summary () =
   check_int "max" 9 s.Stats.max;
   check_int "total" 40 s.Stats.total;
   Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.mean;
-  Alcotest.(check (float 1e-9)) "stdev" 2.0 s.Stats.stdev
+  Alcotest.(check (float 1e-9)) "stdev" 2.0 s.Stats.stdev;
+  (* nearest-rank quantiles agree with Stats.quantile on the same data *)
+  check_int "p50" 4 s.Stats.p50;
+  check_int "p90" 9 s.Stats.p90;
+  check_int "p99" 9 s.Stats.p99;
+  check_int "p50 = quantile 0.5"
+    (Stats.quantile 0.5 [| 2; 4; 4; 4; 5; 5; 7; 9 |])
+    s.Stats.p50;
+  Alcotest.(check (float 1e-9)) "max/mean ratio" 1.8 (Stats.max_mean_ratio s)
 
 let test_stats_singleton () =
   let s = Stats.summarize [| 7 |] in
   Alcotest.(check (float 1e-9)) "stdev of singleton" 0.0 s.Stats.stdev;
+  check_int "singleton p50" 7 s.Stats.p50;
+  check_int "singleton p99" 7 s.Stats.p99;
+  Alcotest.(check (float 1e-9)) "singleton max/mean" 1.0 (Stats.max_mean_ratio s);
+  Alcotest.(check (float 1e-9)) "all-zero max/mean" 1.0
+    (Stats.max_mean_ratio (Stats.summarize [| 0; 0; 0 |]));
   let z = Stats.summarize [||] in
   Alcotest.(check bool) "empty is zero summary" true (z = Stats.zero_summary);
   check_int "empty count" 0 z.Stats.count;
