@@ -700,6 +700,89 @@ let wear () =
         (Wear.heatmap_json ~label:"adder8/endurance-full" d.Campaign.final_wear) ]
 
 (* ------------------------------------------------------------------ *)
+(* Serve: throughput/latency of the compile-and-execute service core
+   (Plim_serve) replaying seeded request mixes against a fleet of
+   persistent crossbar shards.  Latencies are simulated memory-access
+   cycles (static cycles + verify overhead), so every printed number and
+   JSON field except wall_s/requests_per_sec is a pure function of the
+   mix seed — part of the bench-j1 == bench-j4 diff gate; wall fields
+   are zeroed under --deterministic like the phase totals. *)
+
+let serve_rows : string list ref = ref []
+
+let serve () =
+  Printf.printf
+    "\nSERVE — compile-and-execute service over a persistent shard fleet\n";
+  let mix =
+    Plim_serve.Workload.mix_of_suite ~zipf:1.1 ~hot_fraction:0.8 ~hot_pool:4
+      ~compile_ratio:0.05 Suite.small_suite
+  in
+  Printf.printf
+    "(small-suite mix: zipf 1.1 popularity, 80%% hot inputs over 4 vectors per\n\
+    \ program, 5%% redundant compiles; write-verify on, outputs checked against\n\
+    \ a fault-free reference; latencies in simulated memory-access cycles)\n";
+  let scenarios =
+    [ (* steady state: mild transient faults, nobody retires *)
+      ( "steady", 240, 0x5E12,
+        { Plim_serve.Server.default_config with
+          Plim_serve.Server.fault_spec =
+            Fault_model.make ~transient:1e-4 ~seed:0x5EED1 ();
+          seed = 0x5E12 },
+        [] );
+      (* retirement drill: endurance wear plus two forced retirements
+         halfway through — the spare shard must absorb the traffic with
+         zero incorrect executions *)
+      ( "retire", 240, 0x5E34,
+        { Plim_serve.Server.default_config with
+          Plim_serve.Server.shards = 3;
+          spare_shards = 2;
+          cell_spares = 16;
+          endurance = Some 4_000;
+          fault_spec = Fault_model.make ~transient:1e-4 ~seed:0x5EED2 ();
+          seed = 0x5E34 },
+        [ 0; 1 ] ) ]
+  in
+  Printf.printf "%-8s %8s %6s %6s %6s %5s %5s %7s %7s %8s %7s\n" "scenario"
+    "requests" "hits" "miss" "execs" "rerun" "bad" "lat-p50" "lat-p99" "retired"
+    "gini";
+  List.iter
+    (fun (label, requests, seed, cfg, retire_ids) ->
+      let stream = Plim_serve.Workload.generate ~seed ~requests mix in
+      let server = Plim_serve.Server.create cfg in
+      let t0 = Unix.gettimeofday () in
+      (match retire_ids with
+      | [] -> ignore (Plim_serve.Server.run ?pool:!pool server stream)
+      | ids ->
+        let n = List.length stream in
+        let first = List.filteri (fun i _ -> i < n / 2) stream in
+        let second = List.filteri (fun i _ -> i >= n / 2) stream in
+        ignore (Plim_serve.Server.run ?pool:!pool server first);
+        List.iter (fun id -> ignore (Plim_serve.Server.force_retire server id)) ids;
+        ignore (Plim_serve.Server.run ?pool:!pool server second));
+      let wall = if !deterministic then 0.0 else Unix.gettimeofday () -. t0 in
+      let s = Plim_serve.Server.summary server in
+      let lat = Plim_serve.Server.latency server in
+      let skew = Plim_serve.Server.fleet_skew server in
+      Printf.printf "%-8s %8d %6d %6d %6d %5d %5d %7d %7d %8d %7.4f\n" label
+        s.Plim_serve.Server.requests s.Plim_serve.Server.cache_hits
+        s.Plim_serve.Server.cache_misses s.Plim_serve.Server.executes
+        s.Plim_serve.Server.re_runs s.Plim_serve.Server.incorrect
+        (Hgram.p50 lat) (Hgram.p99 lat) s.Plim_serve.Server.retired_shards
+        skew.Wear.gini;
+      List.iter
+        (fun (id, status, writes) ->
+          Printf.printf "  shard %d: %-7s %7d writes\n" id
+            (Plim_serve.Shard.status_name status)
+            writes)
+        (Plim_serve.Server.shard_statuses server);
+      serve_rows :=
+        Plim_serve.Server.row_json server ~label ~wall_s:wall :: !serve_rows)
+    scenarios;
+  Printf.printf
+    "(the retire drill's spare shards go active and absorb the second half of\n\
+    \ the stream; correctness is preserved by write-verify + re-execution)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Machine-level verification of the compiled artefacts. *)
 
 let verify () =
@@ -940,6 +1023,13 @@ let write_results_json results path =
       Buffer.add_char b '\n';
       Buffer.add_string b row)
     !wear_rows;
+  Buffer.add_string b "\n],\"serve\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b row)
+    (List.rev !serve_rows);
   Buffer.add_string b "\n]}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -951,7 +1041,7 @@ let usage () =
     "usage: main.exe [PHASE...] [-j N] [--suite small|all] [--deterministic]\n\
     \                [--results PATH]\n\
      phases: table1 table2 table3 summary csv ablations section2 wearlevel\n\
-    \        lifetime histogram verify faulttol wear perf all\n\
+    \        lifetime histogram verify faulttol wear serve perf all\n\
      -j N            run fan-out phases on N domains (default: domain count);\n\
     \                -j 1 is byte-identical to the sequential program\n\
      --suite small   restrict tables to the small benchmark suite\n\
@@ -1009,7 +1099,9 @@ let () =
   if want_faulttol then faulttol ();
   let want_wear = List.mem "wear" args || List.mem "all" args in
   if want_wear then wear ();
-  if results <> [] || want_faulttol || want_wear then
+  let want_serve = List.mem "serve" args || List.mem "all" args in
+  if want_serve then serve ();
+  if results <> [] || want_faulttol || want_wear || want_serve then
     write_results_json results !results_path;
   if List.mem "csv" args || List.mem "all" args then export_csv results "bench_csv";
   if want "table1" then table1 results;

@@ -831,6 +831,239 @@ let report_cmd =
                errors." ])
     Term.(const report_run $ current $ against $ threshold $ min_abs $ json $ verbose)
 
+(* ---------------------------------------------------------------- *)
+(* serve: the long-lived compile-and-execute service core replaying a
+   seeded request mix against a fleet of persistent crossbar shards. *)
+
+let serve_run sources requests seed shards spare_shards cell_spares lines batch
+    zipf hot hot_pool compile_ratio config cap effort rewriting selection
+    allocation inject endurance no_verify no_check retire jobs wear_json json
+    trace metrics profile =
+  with_obs ~trace ~metrics ~profile @@ fun () ->
+  let config = override config rewriting selection allocation in
+  let config = { config with Pipeline.effort } in
+  let config = match cap with Some w -> Pipeline.with_cap w config | None -> config in
+  let specs =
+    match sources with
+    | [] -> Suite.small_suite
+    | names ->
+      List.map
+        (fun name ->
+          match Suite.find name with
+          | spec -> spec
+          | exception Not_found ->
+            Printf.eprintf
+              "plimc serve: %S is not a known benchmark (try 'plimc list')\n" name;
+            exit 1)
+        names
+  in
+  let mix =
+    Plim_serve.Workload.mix_of_suite ~zipf ~hot_fraction:hot ~hot_pool
+      ~compile_ratio specs
+  in
+  let stream = Plim_serve.Workload.generate ~seed ~requests mix in
+  let scfg =
+    { Plim_serve.Server.pipeline = config;
+      shards;
+      spare_shards;
+      lines;
+      cell_spares;
+      verify = not no_verify;
+      fault_spec = inject;
+      endurance;
+      check = not no_check;
+      seed }
+  in
+  let server = Plim_serve.Server.create scfg in
+  let t0 = Unix.gettimeofday () in
+  let serve pool reqs = ignore (Plim_serve.Server.run ?pool ~batch server reqs) in
+  Plim_par.with_pool ~jobs (fun pool ->
+      let pool = if Plim_par.jobs pool > 1 then Some pool else None in
+      match retire with
+      | [] -> serve pool stream
+      | ids ->
+        (* forced-retirement drill: serve half the stream, retire the
+           given shards, let the survivors absorb the rest *)
+        let n = List.length stream in
+        let first = List.filteri (fun i _ -> i < n / 2) stream in
+        let second = List.filteri (fun i _ -> i >= n / 2) stream in
+        serve pool first;
+        List.iter
+          (fun id ->
+            if not (Plim_serve.Server.force_retire server id) then
+              Printf.eprintf "plimc serve: cannot retire shard %d (unknown, \
+                              spare or already retired)\n%!" id)
+          ids;
+        serve pool second);
+  let wall = Unix.gettimeofday () -. t0 in
+  let s = Plim_serve.Server.summary server in
+  (match wear_json with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Plim_serve.Server.fleet_heatmap_json server);
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "wrote fleet wear heatmaps to %s\n%!" path
+  | None -> ());
+  if json then
+    print_endline (Plim_serve.Server.row_json server ~label:"serve" ~wall_s:wall)
+  else begin
+    let lat = Plim_serve.Server.latency server in
+    let skew = Plim_serve.Server.fleet_skew server in
+    Printf.printf "mix           : %d programs, zipf %.2f, hot %.2f (pool %d), \
+                   compile ratio %.2f\n"
+      (List.length specs) zipf hot hot_pool compile_ratio;
+    Printf.printf "requests      : %d served in %.3fs (%.0f req/s)\n" s.Plim_serve.Server.requests
+      wall
+      (if wall > 0.0 then float_of_int s.Plim_serve.Server.requests /. wall else 0.0);
+    Printf.printf "compile cache : %d hits, %d misses, %d compiles\n"
+      s.Plim_serve.Server.cache_hits s.Plim_serve.Server.cache_misses
+      s.Plim_serve.Server.compiles;
+    Printf.printf "executions    : %d completed, %d re-runs, %d rejected, %d incorrect\n"
+      s.Plim_serve.Server.executes s.Plim_serve.Server.re_runs
+      s.Plim_serve.Server.rejected s.Plim_serve.Server.incorrect;
+    Printf.printf "latency       : p50 %d / p90 %d / p99 %d cycles (total %d)\n"
+      (Plim_telemetry.Histogram.p50 lat)
+      (Plim_telemetry.Histogram.p90 lat)
+      (Plim_telemetry.Histogram.p99 lat)
+      s.Plim_serve.Server.total_cycles;
+    Printf.printf "fleet         : %d retired, %d spares activated, wear gini %.4f, \
+                   max/mean %.2f\n"
+      s.Plim_serve.Server.retired_shards s.Plim_serve.Server.spare_activations
+      skew.Wear.gini skew.Wear.max_mean;
+    List.iter
+      (fun (id, status, writes) ->
+        Printf.printf "  shard %d     : %-7s %d writes\n" id
+          (Plim_serve.Shard.status_name status)
+          writes)
+      (Plim_serve.Server.shard_statuses server)
+  end;
+  if s.Plim_serve.Server.incorrect > 0 then exit 1
+
+let serve_cmd =
+  let sources =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"BENCH"
+             ~doc:"Benchmarks forming the program mix, most popular first \
+                   (default: the small suite).")
+  in
+  let requests =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N" ~doc:"Sampled requests after warm-up.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Request-mix seed; the request stream is a pure function of it.")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Initially active crossbar shards.")
+  in
+  let spare_shards =
+    Arg.(value & opt int 1
+         & info [ "spare-shards" ] ~docv:"N"
+             ~doc:"Spare shards activated when an active shard is retired.")
+  in
+  let cell_spares =
+    Arg.(value & opt int 8
+         & info [ "cell-spares" ] ~docv:"N"
+             ~doc:"Spare lines per shard (within-shard write-verify repair).")
+  in
+  let lines =
+    Arg.(value & opt int 0
+         & info [ "lines" ] ~docv:"N"
+             ~doc:"Logical lines per shard; 0 sizes to the largest compiled \
+                   program at first use.")
+  in
+  let batch =
+    Arg.(value & opt int 32
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Scheduler batch size (affects scheduling granularity only, \
+                   never results).")
+  in
+  let zipf =
+    Arg.(value & opt float 1.0
+         & info [ "zipf" ] ~docv:"S"
+             ~doc:"Zipf exponent of program popularity (0 = uniform).")
+  in
+  let hot =
+    Arg.(value & opt float 0.8
+         & info [ "hot" ] ~docv:"P"
+             ~doc:"Probability an execution reuses a hot input vector.")
+  in
+  let hot_pool =
+    Arg.(value & opt int 4
+         & info [ "hot-pool" ] ~docv:"N"
+             ~doc:"Recurring input vectors per program.")
+  in
+  let compile_ratio =
+    Arg.(value & opt float 0.05
+         & info [ "compile-ratio" ] ~docv:"P"
+             ~doc:"Probability a sampled request is a (redundant) compile.")
+  in
+  let inject =
+    Arg.(value & opt fault_spec_conv Fault_model.none
+         & info [ "inject" ] ~docv:"SPEC"
+             ~doc:"Fault injection spec (see $(b,plimc faults)); each shard \
+                   derives its own fault seed from it.")
+  in
+  let endurance =
+    Arg.(value & opt (some int) None
+         & info [ "endurance" ] ~docv:"E"
+             ~doc:"Per-cell write budget; worn-out cells become stuck-at faults.")
+  in
+  let no_verify =
+    Arg.(value & flag
+         & info [ "no-verify" ]
+             ~doc:"Disable write-verify (faults then go undetected).")
+  in
+  let no_check =
+    Arg.(value & flag
+         & info [ "no-check" ]
+             ~doc:"Skip the fault-free reference run that validates outputs.")
+  in
+  let retire =
+    Arg.(value & opt_all int []
+         & info [ "force-retire" ] ~docv:"ID"
+             ~doc:"Administratively retire shard $(docv) halfway through the \
+                   stream (repeatable) — the spare-activation drill.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Serve on $(docv) domains.  Responses, counters and fleet \
+                   wear are byte-identical at every $(docv).")
+  in
+  let wear_json =
+    Arg.(value & opt (some string) None
+         & info [ "wear-json" ] ~docv:"FILE"
+             ~doc:"Write per-shard wear heatmaps as a plim-serve-fleet/v1 JSON \
+                   document to $(docv).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the plim-serve/v1 result row instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile-and-execute service core: replay a seeded request mix \
+          (Zipfian program popularity, hot/cold input skew) against a fleet of \
+          persistent crossbar shards with a digest-keyed compile cache, \
+          least-worn placement, write-verify repair and online shard \
+          retirement."
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 on success; 1 if any execution produced incorrect outputs; 2 \
+               on usage errors." ])
+    Term.(
+      const serve_run $ sources $ requests $ seed $ shards $ spare_shards
+      $ cell_spares $ lines $ batch $ zipf $ hot $ hot_pool $ compile_ratio
+      $ config_arg $ cap_arg $ effort_arg $ rewriting_arg $ selection_arg
+      $ allocation_arg $ inject $ endurance $ no_verify $ no_check $ retire
+      $ jobs $ wear_json $ json $ trace_arg $ metrics_arg $ profile_flag_arg)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -867,6 +1100,13 @@ let main =
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
     [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; fuzz_cmd;
-      lint_cmd; report_cmd; profile_cmd; selftest_cmd ]
+      lint_cmd; report_cmd; profile_cmd; serve_cmd; selftest_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Usage problems — unknown subcommands, bad flags, unparsable option
+   values — exit 2 uniformly across every subcommand (cmdliner's default
+   would be 124); internal exceptions keep cmdliner's 125. *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

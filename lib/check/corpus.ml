@@ -1,15 +1,9 @@
 module Mig = Plim_mig.Mig
 module Mig_io = Plim_mig.Mig_io
 
-let digest_string s =
-  (* FNV-1a 64-bit *)
-  let h = ref 0xCBF29CE484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h 0x100000001B3L)
-    s;
-  Printf.sprintf "%016Lx" !h
+(* one repo-wide digest implementation: corpus file names and the serve
+   compile cache must agree on what "the same MIG" means *)
+let digest_string = Plim_util.Fnv.digest_string
 
 let digest mig = digest_string (Mig_io.to_string mig)
 

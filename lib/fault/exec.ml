@@ -26,8 +26,8 @@ let m_detections = Metrics.counter "fault.detections"
 
 let run ?(verify = false) ?(max_retries = 2) ?(reset = true) fx rm (p : Program.t)
     ~inputs =
-  if Remap.lines rm <> p.Program.num_cells then
-    invalid_arg "Exec.run: remap table does not match the program's cell count";
+  if Remap.lines rm < p.Program.num_cells then
+    invalid_arg "Exec.run: remap table smaller than the program's cell count";
   if Remap.num_physical rm > Faulty.size fx then
     invalid_arg "Exec.run: crossbar smaller than the remap table's physical space";
   let verify_reads = ref 0

@@ -47,10 +47,13 @@ val run :
   Program.t ->
   inputs:(string * bool) list ->
   outcome * stats
-(** [run fx rm p ~inputs] executes [p]; [Remap.lines rm] must equal
-    [Program.num_cells p] and [Remap.num_physical rm] must not exceed the
-    crossbar size.  [verify] defaults to [false], [max_retries] to [2],
-    [reset] to [true].  The returned stats cover the run up to and
-    including an [Out_of_spares] abandonment.
+(** [run fx rm p ~inputs] executes [p]; [Remap.lines rm] must cover at
+    least [Program.num_cells p] logical lines (a larger table is a
+    persistent shard serving programs of varying footprint — only the
+    program's own lines are scrubbed and addressed) and
+    [Remap.num_physical rm] must not exceed the crossbar size.  [verify]
+    defaults to [false], [max_retries] to [2], [reset] to [true].  The
+    returned stats cover the run up to and including an [Out_of_spares]
+    abandonment.
 
     @raise Invalid_argument on a geometry or input-binding mismatch. *)

@@ -21,6 +21,13 @@ type trace_entry = {
   z_after : bool;
 }
 
+let static_cycles (p : Program.t) =
+  Array.fold_left
+    (fun acc (instr : Instruction.t) ->
+      let operand = function Instruction.Const _ -> 0 | Instruction.Cell _ -> 1 in
+      acc + 1 + operand instr.Instruction.a + operand instr.Instruction.b)
+    0 p.Program.instrs
+
 let run ?endurance ?on_step (p : Program.t) ~inputs =
   Obs.span "machine.run" @@ fun () ->
   Metrics.incr m_runs;

@@ -28,6 +28,13 @@ type trace_entry = {
   z_after : bool;
 }
 
+val static_cycles : Program.t -> int
+(** The memory-access cycles {!run} charges for one execution — one per
+    [Cell] operand read plus one per destination read-modify-write — as a
+    pure function of the instruction stream.  This is the deterministic
+    service-cost model behind the serve layer's latency histograms:
+    [static_cycles p] equals the [cycles] field {!run} reports. *)
+
 val run :
   ?endurance:int ->
   ?on_step:(trace_entry -> unit) ->

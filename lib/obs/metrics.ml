@@ -45,6 +45,8 @@ let gauge name =
 
 let set_gauge g v = with_lock @@ fun () -> g.level <- v
 
+let add_gauge g d = with_lock @@ fun () -> g.level <- g.level +. d
+
 let gauge_value g = with_lock @@ fun () -> g.level
 
 let get name =

@@ -30,6 +30,11 @@ val gauge : string -> gauge
 
 val set_gauge : gauge -> float -> unit
 
+val add_gauge : gauge -> float -> unit
+(** Accumulate a (possibly negative) delta onto the gauge under the
+    registry lock — for levels maintained incrementally across batches,
+    like the serve fleet's cumulative physical-write gauge. *)
+
 val gauge_value : gauge -> float
 
 val get : string -> int

@@ -1,0 +1,60 @@
+(** One persistent crossbar shard of the serve fleet.
+
+    A shard is a {!Plim_fault.Faulty} crossbar plus a
+    {!Plim_fault.Remap} spare-line table that both live for the whole
+    service lifetime: wear, stuck cells and retired lines accumulate
+    across every execution routed here.  Shards start [Active] or
+    [Spare]; when a shard's spare-line pool runs dry mid-execution the
+    fleet retires it and re-runs the request on an activated spare
+    shard ({!Server}). *)
+
+module Program = Plim_isa.Program
+module Exec = Plim_fault.Exec
+
+type status = Spare | Active | Retired
+
+type t
+
+val create :
+  ?endurance:int ->
+  ?spec:Plim_fault.Fault_model.spec ->
+  ?status:status ->
+  id:int ->
+  lines:int ->
+  spares:int ->
+  unit ->
+  t
+(** [create ~id ~lines ~spares ()] is a fresh shard of [lines] logical
+    lines backed by [lines + spares] physical cells.  The fault spec's
+    seed should already be per-shard derived (the fleet uses
+    [Splitmix.derive seed id]); [status] defaults to [Active].
+    @raise Invalid_argument on non-positive [lines] or negative
+    [spares]. *)
+
+val id : t -> int
+val lines : t -> int
+val status : t -> status
+val set_status : t -> status -> unit
+val status_name : status -> string
+
+val execute :
+  verify:bool -> t -> Program.t -> inputs:(string * bool) list ->
+  Exec.outcome * Exec.stats
+(** One write-verified execution on the shard's persistent crossbar;
+    bumps the shard's execution counter and accumulates the stats.
+    @raise Invalid_argument when the program needs more than [lines]
+    cells. *)
+
+val executions : t -> int
+val stats : t -> Exec.stats
+
+val wear_counts : t -> int array
+(** Per-physical-cell cumulative write counts (copy), spares included. *)
+
+val total_writes : t -> int
+
+val spares_left : t -> int
+(** Spare {e lines} still available to {!Plim_fault.Remap.retire}. *)
+
+val stuck_cells : t -> int
+(** Currently stuck physical cells (injected + worn out). *)

@@ -33,6 +33,7 @@ type comparison = {
   improvements : delta list;      (* metrics that shrank beyond threshold *)
   baseline_only : string list;    (* benchmark/config keys that vanished *)
   current_only : string list;     (* keys with no baseline to compare *)
+  new_metrics : string list;      (* metrics only the current file has *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -75,6 +76,36 @@ let schema_of j =
   | Some s -> s
   | None -> "unknown"
 
+(* plim-serve/v1 rows: the service experiments' cost metrics.  Wall-clock
+   throughput (wall_s, requests_per_sec) deliberately stays out — like
+   the phase totals, it varies run to run and never gates. *)
+let serve_metrics_of row =
+  let take name v acc = match v with Some f -> (name, f) :: acc | None -> acc in
+  []
+  |> take "latency.p50" (sub_num "latency" "p50" row)
+  |> take "latency.p99" (sub_num "latency" "p99" row)
+  |> take "total_cycles" (num "total_cycles" row)
+  |> take "fleet.gini" (sub_num "fleet" "gini" row)
+  |> take "fleet.max_mean" (sub_num "fleet" "max_mean" row)
+  |> take "cache_misses" (num "cache_misses" row)
+  |> take "incorrect" (num "incorrect" row)
+  |> take "rejected" (num "rejected" row)
+  |> List.rev
+
+let serve_rows_of j =
+  match Option.bind (Json.member "serve" j) Json.to_list with
+  | None -> []
+  | Some rows ->
+    List.map
+      (fun row ->
+        let label =
+          Option.value ~default:"?"
+            (Option.bind (Json.member "label" row) Json.to_string)
+        in
+        { r_benchmark = "serve:" ^ label; r_config = "serve";
+          r_metrics = serve_metrics_of row })
+      rows
+
 let rows_of j =
   match Option.bind (Json.member "benchmarks" j) Json.to_list with
   | None -> Error "no \"benchmarks\" array (not a plim-bench file?)"
@@ -101,7 +132,7 @@ let rows_of j =
             configs)
         benchmarks
     in
-    Ok rows
+    Ok (rows @ serve_rows_of j)
 
 let key r = r.r_benchmark ^ "/" ^ r.r_config
 
@@ -175,6 +206,23 @@ let compare_json ?(threshold_pct = 2.0) ?(min_abs = 1e-9) ~baseline_path ~curren
       (fun r -> if Hashtbl.mem base_tbl (key r) then None else Some (key r))
       cur_rows
   in
+  (* metrics the current file has but the baseline lacks, within matched
+     rows: these cannot be compared yet, but silently dropping them would
+     make a schema extension look like full coverage — report them as new
+     so the next baseline refresh picks them up *)
+  let new_metrics =
+    List.concat_map
+      (fun br ->
+        match Hashtbl.find_opt cur_tbl (key br) with
+        | None -> []
+        | Some cr ->
+          List.filter_map
+            (fun (metric, _) ->
+              if List.mem_assoc metric br.r_metrics then None
+              else Some (key br ^ "/" ^ metric))
+            cr.r_metrics)
+      base_rows
+  in
   Ok
     { baseline_path;
       current_path;
@@ -186,7 +234,8 @@ let compare_json ?(threshold_pct = 2.0) ?(min_abs = 1e-9) ~baseline_path ~curren
       regressions;
       improvements;
       baseline_only;
-      current_only }
+      current_only;
+      new_metrics }
 
 let compare_files ?threshold_pct ?min_abs ~baseline ~current () =
   let ( let* ) = Result.bind in
@@ -222,6 +271,7 @@ let render ?(verbose = false) c =
   end;
   List.iter (Printf.bprintf b "  gone from current: %s\n") c.baseline_only;
   List.iter (Printf.bprintf b "  new in current: %s\n") c.current_only;
+  List.iter (Printf.bprintf b "  new metric (no baseline yet): %s\n") c.new_metrics;
   Printf.bprintf b "%d regressions, %d improvements\n" (List.length c.regressions)
     (List.length c.improvements);
   Buffer.contents b
@@ -252,5 +302,11 @@ let to_json c =
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b "%S" k)
     c.current_only;
+  Buffer.add_string b "],\"new_metrics\":[";
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S" k)
+    c.new_metrics;
   Buffer.add_string b "]}";
   Buffer.contents b

@@ -11,7 +11,13 @@
     when the current value exceeds the baseline by more than both the
     relative [threshold_pct] and the absolute [min_abs], so two
     identical files always report exactly zero regressions.  Wall-clock
-    [phases] never gate. *)
+    [phases] never gate.
+
+    [plim-serve/v1] rows (the ["serve"] array) are folded into the same
+    comparison as pseudo-benchmarks keyed ["serve:<label>"], tracking
+    latency quantiles, total cycles, fleet wear skew, cache misses and
+    failure counts; their wall-clock throughput fields are excluded like
+    the phases. *)
 
 type delta = {
   benchmark : string;
@@ -35,6 +41,11 @@ type comparison = {
   improvements : delta list;    (** shrank beyond threshold, best first *)
   baseline_only : string list;  (** benchmark/config keys that vanished *)
   current_only : string list;   (** keys with no baseline counterpart *)
+  new_metrics : string list;    (** ["key/metric"] entries present only in
+                                    the current file within matched rows —
+                                    reported as new (never gated, never
+                                    silently dropped) until a baseline
+                                    refresh covers them *)
 }
 
 val compare_files :

@@ -1,0 +1,12 @@
+(* FNV-1a 64-bit: offset basis 0xcbf29ce484222325, prime 0x100000001b3. *)
+
+let digest_int64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let digest_string s = Printf.sprintf "%016Lx" (digest_int64 s)

@@ -175,6 +175,34 @@ let test_zero_fault_bit_identical () =
   Alcotest.(check (array int)) "same write counts" (Crossbar.write_counts xbar)
     (Crossbar.write_counts base)
 
+let test_oversized_remap_table () =
+  (* a persistent shard's remap table outlives any one program: a table
+     with more lines than the program has cells must execute identically,
+     and a smaller table must still be refused *)
+  let p, inputs, reference = Lazy.force adder4 in
+  let lines = Program.num_cells p in
+  let rm = Remap.create ~spares:2 ~lines:(lines + 16) () in
+  let base = Crossbar.create (Remap.num_physical rm) in
+  let fx = Faulty.create ~faults:[ (0, Fault_model.Stuck_at_1) ] base in
+  (match Exec.run ~verify:true fx rm p ~inputs with
+  | Exec.Completed outputs, stats ->
+    Alcotest.(check (list (pair string bool))) "correct on oversized table"
+      reference outputs;
+    check_int "fault on a program line still repaired" 1 stats.Exec.remaps
+  | Exec.Out_of_spares _, _ -> Alcotest.fail "spares available but pool dry");
+  (* only the program's own lines are scrubbed or written *)
+  let counts = Faulty.wear_counts fx in
+  for l = lines to lines + 15 do
+    check_int (Printf.sprintf "line %d beyond the program untouched" l) 0
+      counts.(Remap.physical rm l)
+  done;
+  let small = Remap.create ~lines:(lines - 1) () in
+  Alcotest.check_raises "undersized table refused"
+    (Invalid_argument "Exec.run: remap table smaller than the program's cell count")
+    (fun () ->
+      let base = Crossbar.create (Remap.num_physical small) in
+      ignore (Exec.run (Faulty.create base) small p ~inputs))
+
 let qc = QCheck_alcotest.to_alcotest
 
 (* property: under any injected fault set that fits in the spare budget,
@@ -223,4 +251,6 @@ let () =
             test_transient_recovered_by_retry;
           Alcotest.test_case "zero-fault wrapper is bit-identical" `Quick
             test_zero_fault_bit_identical;
+          Alcotest.test_case "oversized remap table" `Quick
+            test_oversized_remap_table;
           qc verified_never_wrong ] ) ]

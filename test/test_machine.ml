@@ -65,6 +65,31 @@ let test_stats () =
   check_int "dest writes" 1 (Crossbar.writes xbar 2);
   check_int "pi cell writes uncounted" 0 (Crossbar.writes xbar 0)
 
+(* static_cycles is the serve layer's latency model: it must equal the
+   cycles the controller actually charges, for any program and any
+   inputs (the cycle count is input-independent). *)
+let test_static_cycles_matches_run () =
+  let progs =
+    [ ("not", not_program (), [ [ ("a", false) ]; [ ("a", true) ] ]);
+      ("copy", copy_program (), [ [ ("a", false) ]; [ ("a", true) ] ]);
+      ( "maj",
+        maj_program (),
+        [ [ ("a", false); ("b", true); ("c", true) ];
+          [ ("a", true); ("b", true); ("c", false) ] ] )
+    ]
+  in
+  List.iter
+    (fun (name, p, input_sets) ->
+      List.iter
+        (fun inputs ->
+          let _, _, stats = Controller.run p ~inputs in
+          check_int
+            (Printf.sprintf "%s: static_cycles = run cycles" name)
+            (Controller.static_cycles p)
+            stats.Controller.cycles)
+        input_sets)
+    progs
+
 let test_trace () =
   let entries = ref [] in
   let _ =
@@ -236,6 +261,8 @@ let () =
           Alcotest.test_case "COPY program" `Quick test_copy;
           Alcotest.test_case "MAJ program (exhaustive)" `Quick test_maj;
           Alcotest.test_case "run stats" `Quick test_stats;
+          Alcotest.test_case "static cycle model matches run" `Quick
+            test_static_cycles_matches_run;
           Alcotest.test_case "trace callback" `Quick test_trace;
           Alcotest.test_case "input binding errors" `Quick test_input_binding_errors;
           Alcotest.test_case "run_vector" `Quick test_run_vector;

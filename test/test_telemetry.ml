@@ -341,6 +341,81 @@ let test_report_missing_rows () =
   | Ok _ -> Alcotest.fail "accepted a non-bench document"
   | Error _ -> ()
 
+let test_report_new_metrics () =
+  (* a metric present only in the current file within a matched row is
+     reported as new — never gated, never silently dropped *)
+  let base = bench_doc ~schema:"plim-bench/v2" ~max_writes:40 ~extra:"" in
+  let cur = bench_doc ~schema:"plim-bench/v2" ~max_writes:40 ~extra:v2_extra in
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+      (parse_exn cur)
+  with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "new metrics never gate" false (Report.has_regressions c);
+    check_bool "skew/gini listed as new" true
+      (List.mem "b1/naive/skew.gini" c.Report.new_metrics);
+    check_bool "skew/max_mean listed as new" true
+      (List.mem "b1/naive/skew.max_mean" c.Report.new_metrics);
+    check_bool "render mentions new metrics" true
+      (contains ~affix:"new metric" (Report.render c));
+    check_bool "to_json carries new_metrics" true
+      (contains ~affix:"new_metrics" (Report.to_json c));
+    (* identical docs: nothing is new *)
+    (match
+       Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn cur)
+         (parse_exn cur)
+     with
+    | Ok c' -> check_int "identical -> no new metrics" 0 (List.length c'.Report.new_metrics)
+    | Error e -> Alcotest.failf "compare failed: %s" e)
+
+let serve_doc ~p99 ~misses =
+  Printf.sprintf
+    {|{"schema":"plim-bench/v2","generated_at":0,"benchmarks":[],"phases":[],
+      "serve":[{"schema":"plim-serve/v1","label":"steady","requests":240,
+        "cache_misses":%d,"total_cycles":9000,"incorrect":0,"rejected":0,
+        "latency":{"p50":24.0,"p90":40.0,"p99":%f,"max":80.0},
+        "fleet":{"active":4,"retired":0,"spare":1,"gini":0.05,
+                 "max_mean":1.2,"stdev":3.0,"total_writes":5000},
+        "wall_s":0.0,"requests_per_sec":0.0}]}|}
+    misses p99
+
+let test_report_serve_rows () =
+  (* plim-serve/v1 rows fold into the comparison as serve:<label>
+     pseudo-benchmarks; their wall-clock fields are never compared *)
+  let base = serve_doc ~p99:60.0 ~misses:4 in
+  let cur = serve_doc ~p99:90.0 ~misses:4 in
+  (match
+     Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+       (parse_exn base)
+   with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "serve metrics compared" true (List.length c.Report.deltas >= 6);
+    check_bool "all rows keyed serve:steady/serve" true
+      (List.for_all
+         (fun d ->
+           d.Report.benchmark = "serve:steady" && d.Report.config = "serve")
+         c.Report.deltas);
+    check_bool "wall-clock excluded" true
+      (List.for_all
+         (fun d ->
+           d.Report.metric <> "wall_s" && d.Report.metric <> "requests_per_sec")
+         c.Report.deltas);
+    check_bool "identical serve rows -> zero" false (Report.has_regressions c));
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+      (parse_exn cur)
+  with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "latency tail growth gates" true (Report.has_regressions c);
+    (match c.Report.regressions with
+    | [ d ] ->
+      Alcotest.(check string) "metric" "latency.p99" d.Report.metric;
+      Alcotest.(check string) "benchmark" "serve:steady" d.Report.benchmark
+    | l -> Alcotest.failf "expected exactly 1 regression, got %d" (List.length l))
+
 (* --- metrics registry exposition ---------------------------------------- *)
 
 let test_metrics_histogram () =
@@ -436,7 +511,11 @@ let () =
           Alcotest.test_case "regression detected" `Quick test_report_regression;
           Alcotest.test_case "v1 -> v2 migration" `Quick test_report_v1_migration;
           Alcotest.test_case "threshold knob" `Quick test_report_threshold;
-          Alcotest.test_case "missing rows" `Quick test_report_missing_rows ] );
+          Alcotest.test_case "missing rows" `Quick test_report_missing_rows;
+          Alcotest.test_case "new metrics reported, not dropped" `Quick
+            test_report_new_metrics;
+          Alcotest.test_case "serve rows fold into the gate" `Quick
+            test_report_serve_rows ] );
       ( "metrics",
         [ Alcotest.test_case "histogram exposition" `Quick test_metrics_histogram ] );
       ( "campaign",

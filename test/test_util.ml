@@ -82,6 +82,29 @@ let test_splitmix_float_range () =
     if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
   done
 
+(* --- Fnv ------------------------------------------------------------- *)
+
+let test_fnv_known_vectors () =
+  (* reference FNV-1a 64-bit digests; changing these silently would
+     orphan every corpus file and serve cache key *)
+  Alcotest.(check string) "empty" "cbf29ce484222325" (Plim_util.Fnv.digest_string "");
+  Alcotest.(check string) "a" "af63dc4c8601ec8c" (Plim_util.Fnv.digest_string "a");
+  Alcotest.(check string) "foobar" "85944171f73967e8"
+    (Plim_util.Fnv.digest_string "foobar")
+
+let test_fnv_distinct () =
+  let seen = Hashtbl.create 256 in
+  for i = 0 to 999 do
+    let d = Plim_util.Fnv.digest_string (string_of_int i) in
+    check_int "hex width" 16 (String.length d);
+    if Hashtbl.mem seen d then Alcotest.failf "collision at %d (%s)" i d;
+    Hashtbl.add seen d ()
+  done
+
+let test_fnv_int64_consistent () =
+  Alcotest.(check string) "hex of int64" "85944171f73967e8"
+    (Printf.sprintf "%016Lx" (Plim_util.Fnv.digest_int64 "foobar"))
+
 let test_splitmix_bits () =
   let rng = Splitmix.create 4 in
   check_int "bits width" 17 (Array.length (Splitmix.bits rng ~width:17))
@@ -307,6 +330,11 @@ let () =
           Alcotest.test_case "bounds" `Quick test_vec_bounds;
           Alcotest.test_case "clear/iter/fold/exists" `Quick test_vec_clear_iter;
           qc vec_roundtrip ] );
+      ( "fnv",
+        [ Alcotest.test_case "known vectors" `Quick test_fnv_known_vectors;
+          Alcotest.test_case "distinct digests" `Quick test_fnv_distinct;
+          Alcotest.test_case "int64/string consistency" `Quick
+            test_fnv_int64_consistent ] );
       ( "splitmix",
         [ Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
           Alcotest.test_case "copy" `Quick test_splitmix_copy;
