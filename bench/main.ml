@@ -783,6 +783,72 @@ let serve () =
     \ the stream; correctness is preserved by write-verify + re-execution)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Horizon: accelerated-time device-lifetime campaigns over the serve
+   fleet.  Sampled epochs of real traffic set per-cell write rates;
+   between samples wear fast-forwards in closed form, so each grid cell
+   simulates the whole life of the fleet (until the capacity floor) in
+   milliseconds.  Every number is a pure function of the seeds -- the
+   rows are part of the -j1 == -j4 byte-identity gate. *)
+
+let horizon_rows : string list ref = ref []
+
+let horizon () =
+  let module H = Plim_serve.Horizon in
+  Printf.printf
+    "\nHORIZON — years of traffic to first device death, per endurance strategy\n";
+  let base = H.default_config in
+  Printf.printf
+    "(endurance %.3g writes/cell; epochs of %d requests, sampled every %g;\n\
+    \ lifetimes also projected to %.0e-write devices — the paper's Table III\n\
+    \ restated as time-to-first-failure / capacity half-life per strategy)\n"
+    base.H.endurance base.H.epoch_requests base.H.sample_every
+    base.H.project_endurance;
+  let rates = [ 0.0; 0.005; 0.02 ] in
+  let cells = H.grid ?pool:!pool base ~strategies:H.all_strategies ~fault_rates:rates in
+  Printf.printf "%-18s %6s %9s %10s %11s %9s %5s %6s\n" "strategy" "rate"
+    "ttff" "half-life" "proj-ttff" "capacity" "dead" "gini";
+  let fmt_opt = function Some e -> Printf.sprintf "%.4g" e | None -> "-" in
+  List.iter
+    (fun (_, rate, r) ->
+      let proj =
+        match r.H.r_ttff with
+        | Some e -> Printf.sprintf "%.3gy" (H.years_of r e *. r.H.r_project_factor)
+        | None -> "-"
+      in
+      Printf.printf "%-18s %6g %9s %10s %11s %9.2f %5d %6.4f\n"
+        (H.strategy_name r.H.r_strategy)
+        rate (fmt_opt r.H.r_ttff) (fmt_opt r.H.r_half_life) proj
+        r.H.r_final_capacity r.H.r_dead_shards r.H.r_skew.Wear.gini)
+    cells;
+  (* self-check: the combined strategy must strictly outlive the unmanaged
+     baseline at every fault rate, on both lifetime metrics *)
+  let find st rate =
+    List.find (fun (s, r, _) -> s = st && r = rate) cells |> fun (_, _, r) -> r
+  in
+  let opt_inf = function Some e -> e | None -> infinity in
+  let violations =
+    List.concat_map
+      (fun rate ->
+        let none = find H.No_leveling rate in
+        let both = find H.Start_gap_wolfram rate in
+        let check name a b =
+          if opt_inf b > opt_inf a then []
+          else
+            [ Printf.sprintf "%s at rate %g: start_gap+wolfram %g <= none %g"
+                name rate (opt_inf b) (opt_inf a) ]
+        in
+        check "ttff" none.H.r_ttff both.H.r_ttff
+        @ check "half-life" none.H.r_half_life both.H.r_half_life)
+      rates
+  in
+  (match violations with
+  | [] ->
+    Printf.printf
+      "(ok: start_gap+wolfram strictly outlives none at every fault rate)\n"
+  | vs -> List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) vs);
+  horizon_rows := List.map (fun (_, _, r) -> H.row_json r) cells
+
+(* ------------------------------------------------------------------ *)
 (* Machine-level verification of the compiled artefacts. *)
 
 let verify () =
@@ -1030,6 +1096,13 @@ let write_results_json results path =
       Buffer.add_char b '\n';
       Buffer.add_string b row)
     (List.rev !serve_rows);
+  Buffer.add_string b "\n],\"horizon\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b row)
+    !horizon_rows;
   Buffer.add_string b "\n]}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -1041,7 +1114,7 @@ let usage () =
     "usage: main.exe [PHASE...] [-j N] [--suite small|all] [--deterministic]\n\
     \                [--results PATH]\n\
      phases: table1 table2 table3 summary csv ablations section2 wearlevel\n\
-    \        lifetime histogram verify faulttol wear serve perf all\n\
+    \        lifetime histogram verify faulttol wear serve horizon perf all\n\
      -j N            run fan-out phases on N domains (default: domain count);\n\
     \                -j 1 is byte-identical to the sequential program\n\
      --suite small   restrict tables to the small benchmark suite\n\
@@ -1101,8 +1174,10 @@ let () =
   if want_wear then wear ();
   let want_serve = List.mem "serve" args || List.mem "all" args in
   if want_serve then serve ();
-  if results <> [] || want_faulttol || want_wear || want_serve then
-    write_results_json results !results_path;
+  let want_horizon = List.mem "horizon" args || List.mem "all" args in
+  if want_horizon then horizon ();
+  if results <> [] || want_faulttol || want_wear || want_serve || want_horizon
+  then write_results_json results !results_path;
   if List.mem "csv" args || List.mem "all" args then export_csv results "bench_csv";
   if want "table1" then table1 results;
   if want "table2" then table2 results;

@@ -1064,6 +1064,245 @@ let serve_cmd =
       $ allocation_arg $ inject $ endurance $ no_verify $ no_check $ retire
       $ jobs $ wear_json $ json $ trace_arg $ metrics_arg $ profile_flag_arg)
 
+let horizon_run sources strategies rates endurance epoch_requests sample_every
+    max_epochs capacity_floor psi rekey_period model_spares epoch_seconds
+    project shards spare_shards cell_spares lines seed zipf hot hot_pool
+    compile_ratio jobs json trace metrics profile =
+  with_obs ~trace ~metrics ~profile @@ fun () ->
+  let module H = Plim_serve.Horizon in
+  let specs =
+    match sources with
+    | [] -> Suite.small_suite
+    | names ->
+      List.map
+        (fun name ->
+          match Suite.find name with
+          | spec -> spec
+          | exception Not_found ->
+            Printf.eprintf
+              "plimc horizon: %S is not a known benchmark (try 'plimc list')\n"
+              name;
+            exit 1)
+        names
+  in
+  let mix =
+    Plim_serve.Workload.mix_of_suite ~zipf ~hot_fraction:hot ~hot_pool
+      ~compile_ratio specs
+  in
+  let strategies =
+    match strategies with [] -> H.all_strategies | ss -> ss
+  in
+  let rates = match rates with [] -> [ 0.0 ] | rs -> rs in
+  let base = H.default_config in
+  let server =
+    { base.H.server with
+      Plim_serve.Server.shards;
+      spare_shards;
+      cell_spares;
+      lines;
+      seed }
+  in
+  let cfg =
+    { base with
+      H.server;
+      mix;
+      endurance;
+      epoch_requests;
+      sample_every;
+      max_epochs;
+      capacity_floor;
+      psi;
+      wolfram_period = rekey_period;
+      model_spares;
+      epoch_seconds;
+      project_endurance = project }
+  in
+  let cells =
+    Plim_par.with_pool ~jobs (fun pool ->
+        let pool = if Plim_par.jobs pool > 1 then Some pool else None in
+        H.grid ?pool cfg ~strategies ~fault_rates:rates)
+  in
+  if json then
+    List.iter (fun (_, _, r) -> print_endline (H.row_json r)) cells
+  else begin
+    Printf.printf
+      "horizon: endurance %.3g writes/cell, epochs of %d requests, sampled \
+       every %g, projecting to %.0e\n"
+      endurance epoch_requests sample_every project;
+    Printf.printf "%-18s %6s %10s %10s %11s %11s %9s %5s\n" "strategy" "rate"
+      "ttff" "half-life" "proj-ttff" "proj-half" "capacity" "dead";
+    let fmt_opt = function Some e -> Printf.sprintf "%.5g" e | None -> "-" in
+    let proj r = function
+      | Some e ->
+        Printf.sprintf "%.3gy" (H.years_of r e *. r.H.r_project_factor)
+      | None -> "-"
+    in
+    List.iter
+      (fun (_, rate, r) ->
+        Printf.printf "%-18s %6g %10s %10s %11s %11s %9.2f %5d\n"
+          (H.strategy_name r.H.r_strategy)
+          rate (fmt_opt r.H.r_ttff) (fmt_opt r.H.r_half_life)
+          (proj r r.H.r_ttff) (proj r r.H.r_half_life) r.H.r_final_capacity
+          r.H.r_dead_shards)
+      cells
+  end
+
+let horizon_cmd =
+  let sources =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"BENCH"
+             ~doc:"Benchmarks forming the program mix, most popular first \
+                   (default: the small suite).")
+  in
+  let strategy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Plim_serve.Horizon.strategy_of_string s with
+          | Ok st -> Ok st
+          | Error e -> Error (`Msg e)),
+        fun ppf st ->
+          Format.pp_print_string ppf (Plim_serve.Horizon.strategy_name st) )
+  in
+  let strategies =
+    Arg.(value & opt_all strategy_conv []
+         & info [ "strategy" ] ~docv:"S"
+             ~doc:"Endurance strategy: $(b,none), $(b,start_gap), \
+                   $(b,wolfram_remap) or $(b,start_gap+wolfram) (repeatable; \
+                   default: all four).")
+  in
+  let rates =
+    Arg.(value & opt_all float []
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Permanent-fault rate of the wear model (repeatable; \
+                   default: 0).")
+  in
+  let endurance =
+    Arg.(value & opt float 2e5
+         & info [ "endurance" ] ~docv:"E"
+             ~doc:"Per-cell write budget of the campaign.")
+  in
+  let epoch_requests =
+    Arg.(value & opt int 80
+         & info [ "epoch-requests" ] ~docv:"N"
+             ~doc:"Requests per epoch of simulated traffic.")
+  in
+  let sample_every =
+    Arg.(value & opt float 2500.0
+         & info [ "sample-every" ] ~docv:"N"
+             ~doc:"Epochs between really-executed sampled epochs.")
+  in
+  let max_epochs =
+    Arg.(value & opt float 40_000.0
+         & info [ "max-epochs" ] ~docv:"N" ~doc:"Hard epoch horizon.")
+  in
+  let capacity_floor =
+    Arg.(value & opt float 0.35
+         & info [ "capacity-floor" ] ~docv:"F"
+             ~doc:"Stop when the alive-shard fraction drops below $(docv).")
+  in
+  let psi =
+    Arg.(value & opt int 100
+         & info [ "psi" ] ~docv:"N" ~doc:"Start-Gap rotation period.")
+  in
+  let rekey_period =
+    Arg.(value & opt int 50_000
+         & info [ "rekey-period" ] ~docv:"N"
+             ~doc:"Writes between WoLFRaM re-keys.")
+  in
+  let model_spares =
+    Arg.(value & opt int 8
+         & info [ "model-spares" ] ~docv:"N"
+             ~doc:"Spare lines per shard in the wear model.")
+  in
+  let epoch_seconds =
+    Arg.(value & opt float 60.0
+         & info [ "epoch-seconds" ] ~docv:"S"
+             ~doc:"Wall-clock seconds one epoch represents.")
+  in
+  let project =
+    Arg.(value & opt float 1e10
+         & info [ "project" ] ~docv:"E"
+             ~doc:"Real device endurance the projected-years columns rescale \
+                   to.")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Initially active crossbar shards.")
+  in
+  let spare_shards =
+    Arg.(value & opt int 1
+         & info [ "spare-shards" ] ~docv:"N"
+             ~doc:"Spare shards activated when an active shard dies.")
+  in
+  let cell_spares =
+    Arg.(value & opt int 8
+         & info [ "cell-spares" ] ~docv:"N"
+             ~doc:"Spare lines per live server shard (sets the measured cell \
+                   range).")
+  in
+  let lines =
+    Arg.(value & opt int 0
+         & info [ "lines" ] ~docv:"N"
+             ~doc:"Logical lines per shard; 0 sizes to the largest compiled \
+                   program at first use.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Campaign seed; every number in the output is a pure \
+                   function of it.")
+  in
+  let zipf =
+    Arg.(value & opt float 1.0
+         & info [ "zipf" ] ~docv:"S"
+             ~doc:"Zipf exponent of program popularity (0 = uniform).")
+  in
+  let hot =
+    Arg.(value & opt float 0.8
+         & info [ "hot" ] ~docv:"P"
+             ~doc:"Probability an execution reuses a hot input vector.")
+  in
+  let hot_pool =
+    Arg.(value & opt int 4
+         & info [ "hot-pool" ] ~docv:"N"
+             ~doc:"Recurring input vectors per program.")
+  in
+  let compile_ratio =
+    Arg.(value & opt float 0.05
+         & info [ "compile-ratio" ] ~docv:"P"
+             ~doc:"Probability a sampled request is a (redundant) compile.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Run grid cells on $(docv) domains; results are \
+                   byte-identical at every $(docv).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one plim-horizon/v1 row per grid cell instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "horizon"
+       ~doc:
+         "Accelerated-time device-lifetime campaigns: stream epochs of a \
+          seeded request mix through the serve fleet, fast-forward wear \
+          between sampled epochs via per-shard write-rate extrapolation, and \
+          report time-to-first-device-death and capacity half-life per \
+          endurance strategy (none, Start-Gap, WoLFRaM remap, or both \
+          composed) across a fault-rate grid."
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 on success; 2 on usage errors." ])
+    Term.(
+      const horizon_run $ sources $ strategies $ rates $ endurance
+      $ epoch_requests $ sample_every $ max_epochs $ capacity_floor $ psi
+      $ rekey_period $ model_spares $ epoch_seconds $ project $ shards
+      $ spare_shards $ cell_spares $ lines $ seed $ zipf $ hot $ hot_pool
+      $ compile_ratio $ jobs $ json $ trace_arg $ metrics_arg
+      $ profile_flag_arg)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -1100,7 +1339,7 @@ let main =
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
     [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; fuzz_cmd;
-      lint_cmd; report_cmd; profile_cmd; serve_cmd; selftest_cmd ]
+      lint_cmd; report_cmd; profile_cmd; serve_cmd; horizon_cmd; selftest_cmd ]
 
 (* Usage problems — unknown subcommands, bad flags, unparsable option
    values — exit 2 uniformly across every subcommand (cmdliner's default

@@ -2,6 +2,7 @@ module Program = Plim_isa.Program
 module I = Plim_isa.Instruction
 module Crossbar = Plim_rram.Crossbar
 module Start_gap = Plim_rram.Start_gap
+module Wolfram = Plim_rram.Wolfram
 module Splitmix = Plim_util.Splitmix
 module Obs = Plim_obs.Obs
 module Metrics = Plim_obs.Metrics
@@ -317,6 +318,45 @@ let run_with_start_gap ?seed ?max_executions ?sample_every ?psi ~endurance p =
     (* a move with the gap at 0 is a wrap (start advance), not a copy *)
     if Start_gap.total_moves sg > before && gap_target > 0 then
       Crossbar.write xbar gap_target false
+  in
+  campaign ?seed ?max_executions ?sample_every ~physical_cells:(n + 1) ~map ~on_write
+    ~endurance p
+
+let run_with_wolfram ?seed ?max_executions ?sample_every ?period ?(wolfram_seed = 0x901F)
+    ~endurance p =
+  let n = p.Program.num_cells in
+  let wf = Wolfram.create ?period ~seed:wolfram_seed n in
+  let map xbar cell =
+    ignore xbar;
+    Wolfram.physical wf cell
+  in
+  (* a re-key copies every moved line to its new home: real writes *)
+  let on_write xbar cell =
+    Wolfram.write ~on_migrate:(fun dst -> Crossbar.write xbar dst false) wf cell
+  in
+  campaign ?seed ?max_executions ?sample_every ~physical_cells:n ~map ~on_write
+    ~endurance p
+
+let run_with_start_gap_wolfram ?seed ?max_executions ?sample_every ?psi ?period
+    ?(wolfram_seed = 0x901F) ~endurance p =
+  let n = p.Program.num_cells in
+  let wf = Wolfram.create ?period ~seed:wolfram_seed n in
+  let sg = Start_gap.create ?psi n in
+  (* WoLFRaM permutes logical addresses, Start-Gap rotates the result:
+     logical -> Wolfram -> Start-Gap -> physical (n + 1 lines) *)
+  let map xbar cell =
+    ignore xbar;
+    Start_gap.physical sg (Wolfram.physical wf cell)
+  in
+  let on_write xbar cell =
+    let before = Start_gap.total_moves sg in
+    let gap_target = Start_gap.gap_line sg in
+    Start_gap.write sg (Wolfram.physical wf cell);
+    if Start_gap.total_moves sg > before && gap_target > 0 then
+      Crossbar.write xbar gap_target false;
+    Wolfram.write
+      ~on_migrate:(fun dst -> Crossbar.write xbar (Start_gap.physical sg dst) false)
+      wf cell
   in
   campaign ?seed ?max_executions ?sample_every ~physical_cells:(n + 1) ~map ~on_write
     ~endurance p

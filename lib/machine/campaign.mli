@@ -66,6 +66,35 @@ val run_with_start_gap :
     execution [k] lands on a rotating physical line, so hot logical cells
     spread across the array over time. *)
 
+val run_with_wolfram :
+  ?seed:int ->
+  ?max_executions:int ->
+  ?sample_every:int ->
+  ?period:int ->
+  ?wolfram_seed:int ->
+  endurance:int ->
+  Program.t ->
+  outcome
+(** Same campaign behind a {!Plim_rram.Wolfram} programmable remap: a
+    seeded permutation maps logical to physical addresses and is re-keyed
+    every [period] writes; each re-key's migration copies are charged to
+    the crossbar as real writes. *)
+
+val run_with_start_gap_wolfram :
+  ?seed:int ->
+  ?max_executions:int ->
+  ?sample_every:int ->
+  ?psi:int ->
+  ?period:int ->
+  ?wolfram_seed:int ->
+  endurance:int ->
+  Program.t ->
+  outcome
+(** The composed WoLFRaM-under-Start-Gap stack over [n + 1] physical
+    lines: logical → Wolfram permutation → Start-Gap rotation → physical.
+    Gap copies and re-key migrations both land on the crossbar through
+    the current composed map, so the wear ledger stays exact. *)
+
 (** {1 Graceful degradation}
 
     Where {!run_until_failure} measures "time to first crash", the

@@ -1,0 +1,518 @@
+module Splitmix = Plim_util.Splitmix
+module Fault_model = Plim_fault.Fault_model
+module Remap = Plim_fault.Remap
+module Lifetime = Plim_stats.Lifetime
+module Wear = Plim_telemetry.Wear
+module Wolfram = Plim_rram.Wolfram
+
+type strategy = No_leveling | Start_gap | Wolfram_remap | Start_gap_wolfram
+
+let all_strategies = [ No_leveling; Start_gap; Wolfram_remap; Start_gap_wolfram ]
+
+let strategy_name = function
+  | No_leveling -> "none"
+  | Start_gap -> "start_gap"
+  | Wolfram_remap -> "wolfram_remap"
+  | Start_gap_wolfram -> "start_gap+wolfram"
+
+let strategy_of_string = function
+  | "none" -> Ok No_leveling
+  | "start_gap" -> Ok Start_gap
+  | "wolfram_remap" | "wolfram" -> Ok Wolfram_remap
+  | "start_gap+wolfram" | "both" -> Ok Start_gap_wolfram
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown endurance strategy %S (expected none|start_gap|wolfram_remap|start_gap+wolfram)"
+         s)
+
+let uses_start_gap = function
+  | Start_gap | Start_gap_wolfram -> true
+  | No_leveling | Wolfram_remap -> false
+
+type config = {
+  server : Server.config;
+  mix : Workload.mix;
+  strategy : strategy;
+  fault_spec : Fault_model.spec;
+  endurance : float;
+  epoch_requests : int;
+  sample_every : float;
+  max_epochs : float;
+  capacity_floor : float;
+  psi : int;
+  wolfram_period : int;
+  model_spares : int;
+  epoch_seconds : float;
+  project_endurance : float;
+}
+
+let default_mix () =
+  Workload.mix_of_suite
+    (List.filteri (fun i _ -> i < 5) Plim_benchgen.Suite.small_suite)
+
+let default_config =
+  { server =
+      { Server.default_config with
+        Server.endurance = None;
+        verify = false;
+        check = false;
+        fault_spec = Fault_model.none };
+    mix = default_mix ();
+    strategy = No_leveling;
+    fault_spec = Fault_model.none;
+    endurance = 2e5;
+    epoch_requests = 80;
+    sample_every = 2500.0;
+    max_epochs = 40_000.0;
+    capacity_floor = 0.35;
+    psi = 100;
+    wolfram_period = 50_000;
+    model_spares = 8;
+    epoch_seconds = 60.0;
+    project_endurance = 1e10 }
+
+type stop_reason = Capacity_floor | Fleet_dead | Max_epochs
+
+let stop_reason_name = function
+  | Capacity_floor -> "capacity_floor"
+  | Fleet_dead -> "fleet_dead"
+  | Max_epochs -> "max_epochs"
+
+type sample = { hz_epoch : float; hz_capacity : float; hz_skew : Wear.skew }
+
+type shard_report = {
+  sh_id : int;
+  sh_cells : int;
+  sh_first_death : float option;
+  sh_dead_epoch : float option;
+  sh_retired_cells : int;
+}
+
+type result = {
+  r_strategy : strategy;
+  r_fault_rate : float;
+  r_endurance : float;
+  r_epochs : float;
+  r_stop : stop_reason;
+  r_ttff : float option;           (* first cell wear-out, in epochs *)
+  r_half_life : float option;      (* capacity <= 1/2 design capacity *)
+  r_final_capacity : float;
+  r_dead_shards : int;
+  r_alive_shards : int;
+  r_sampled_epochs : int;
+  r_total_writes : float;
+  r_skew : Wear.skew;
+  r_shards : shard_report list;
+  r_trajectory : sample list;
+  r_epoch_seconds : float;
+  r_project_factor : float;        (* project_endurance / endurance *)
+}
+
+(* One modelled shard: a wear ledger over [Remap.num_physical] physical
+   lines, fed by rates derived from measured server traffic.  The spare
+   pool and the permanent-fault population live here — the live server
+   fleet runs fault-free and is only used to measure per-cell write
+   rates, so the fault axis perturbs exactly one thing (spare budget
+   consumption) and lifetime stays monotone in the injected rate. *)
+type shard_model = {
+  sm_id : int;
+  sm_meas : int;                   (* measured cells on the server shard *)
+  sm_cells : int;                  (* logical lines of the model *)
+  sm_rm : Remap.t;
+  sm_wear : float array;           (* per physical line *)
+  sm_rate : float array;           (* writes per epoch, per physical line *)
+  sm_lrate : float array;          (* writes per epoch, per logical line *)
+  sm_inverse : int array;          (* physical -> logical, -1 = unmapped *)
+  sm_dead : bool array;            (* worn out or permanently faulty *)
+  sm_wear_retire : bool;
+  (* Whether wear-time line retirement is possible.  Classic Start-Gap
+     rotates over a contiguous physical range — the gap copy would march
+     straight into a retired line — so without a programmable remap layer
+     underneath, the first wear-out death takes the whole shard.  Factory
+     (power-on) defects are still patched for every strategy. *)
+  mutable sm_alive : bool;
+  mutable sm_first_death : float option;
+  mutable sm_dead_epoch : float option;
+}
+
+let refresh_prate sm =
+  Array.fill sm.sm_rate 0 (Array.length sm.sm_rate) 0.0;
+  if sm.sm_alive then
+    for l = 0 to sm.sm_cells - 1 do
+      let p = Remap.physical sm.sm_rm l in
+      sm.sm_rate.(p) <- sm.sm_rate.(p) +. sm.sm_lrate.(l)
+    done
+
+(* Remap logical line [l] away from dead physical lines until it lands on
+   a healthy spare; kills the shard when the pool runs dry. *)
+let scrub_line sm ~epoch l =
+  let continue = ref true in
+  while !continue && sm.sm_alive && sm.sm_dead.(Remap.physical sm.sm_rm l) do
+    let old = Remap.physical sm.sm_rm l in
+    match Remap.retire sm.sm_rm l with
+    | Some fresh ->
+      sm.sm_inverse.(old) <- -1;
+      sm.sm_inverse.(fresh) <- l
+    | None ->
+      sm.sm_alive <- false;
+      sm.sm_dead_epoch <- Some epoch;
+      continue := false
+  done
+
+let init_model cfg ~id ~meas =
+  let cells = meas + if uses_start_gap cfg.strategy then 1 else 0 in
+  let rm = Remap.create ~spares:cfg.model_spares ~lines:cells () in
+  let np = Remap.num_physical rm in
+  let sm =
+    { sm_id = id;
+      sm_meas = meas;
+      sm_cells = cells;
+      sm_rm = rm;
+      sm_wear = Array.make np 0.0;
+      sm_rate = Array.make np 0.0;
+      sm_lrate = Array.make cells 0.0;
+      sm_inverse = Array.init np (fun p -> if p < cells then p else -1);
+      sm_dead = Array.make np false;
+      sm_wear_retire = cfg.strategy <> Start_gap;
+      sm_alive = true;
+      sm_first_death = None;
+      sm_dead_epoch = None }
+  in
+  (* power-on scrub: the permanent-fault population of this shard, seeded
+     exactly like the server fleet derives per-shard fault streams *)
+  let spec =
+    { cfg.fault_spec with
+      Fault_model.seed = Splitmix.derive cfg.fault_spec.Fault_model.seed id }
+  in
+  List.iter
+    (fun (p, _kind) -> sm.sm_dead.(p) <- true)
+    (Fault_model.sample_permanent spec ~cells:np);
+  for l = 0 to cells - 1 do
+    scrub_line sm ~epoch:0.0 l
+  done;
+  sm
+
+let set_rates cfg sm (delta : int array) =
+  if sm.sm_alive then begin
+    let total = Array.fold_left (fun acc d -> acc +. float_of_int d) 0.0 delta in
+    (match cfg.strategy with
+    | No_leveling ->
+      for l = 0 to sm.sm_cells - 1 do
+        sm.sm_lrate.(l) <-
+          (if l < Array.length delta then float_of_int delta.(l) else 0.0)
+      done
+    | _ ->
+      let sg = if uses_start_gap cfg.strategy then 1.0 /. float_of_int cfg.psi else 0.0 in
+      let wf =
+        match cfg.strategy with
+        | Wolfram_remap | Start_gap_wolfram ->
+          Wolfram.migration_overhead ~period:cfg.wolfram_period ~lines:sm.sm_meas
+        | _ -> 0.0
+      in
+      let overhead = ((1.0 +. sg) *. (1.0 +. wf)) -. 1.0 in
+      let uniform = Lifetime.leveled_rate ~overhead ~cells:sm.sm_cells ~total () in
+      Array.fill sm.sm_lrate 0 sm.sm_cells uniform);
+    refresh_prate sm
+  end
+
+let fleet_wear_snapshot models =
+  let cells = ref [] in
+  (* reverse shard order so the final list is ascending by (shard, line) *)
+  List.iter
+    (fun sm ->
+      if sm.sm_alive then
+        for p = Array.length sm.sm_wear - 1 downto 0 do
+          if sm.sm_inverse.(p) >= 0 then
+            cells := int_of_float (Float.round sm.sm_wear.(p)) :: !cells
+        done)
+    (List.rev models);
+  match !cells with [] -> [| 0 |] | l -> Array.of_list l
+
+let capacity_of models total =
+  let alive = List.length (List.filter (fun sm -> sm.sm_alive) models) in
+  float_of_int alive /. float_of_int total
+
+let validate cfg =
+  if cfg.endurance <= 0.0 then invalid_arg "Horizon.run: endurance must be positive";
+  if cfg.epoch_requests <= 0 then invalid_arg "Horizon.run: epoch_requests must be positive";
+  if cfg.sample_every <= 0.0 then invalid_arg "Horizon.run: sample_every must be positive";
+  if cfg.max_epochs <= 0.0 then invalid_arg "Horizon.run: max_epochs must be positive";
+  if cfg.capacity_floor < 0.0 || cfg.capacity_floor > 1.0 then
+    invalid_arg "Horizon.run: capacity_floor must be in [0,1]";
+  if cfg.psi <= 0 then invalid_arg "Horizon.run: psi must be positive";
+  if cfg.wolfram_period <= 0 then invalid_arg "Horizon.run: wolfram_period must be positive";
+  if cfg.model_spares < 0 then invalid_arg "Horizon.run: model_spares must be non-negative";
+  if cfg.project_endurance <= 0.0 then
+    invalid_arg "Horizon.run: project_endurance must be positive"
+
+let run ?pool cfg =
+  validate cfg;
+  let server_cfg =
+    { cfg.server with Server.fault_spec = Fault_model.none; endurance = None }
+  in
+  let server = Server.create server_cfg in
+  let sample_seed = Splitmix.derive server_cfg.Server.seed 0x4A11 in
+  let sampled = ref 0 in
+  let run_epoch () =
+    let seed = Splitmix.derive sample_seed !sampled in
+    incr sampled;
+    let before = Server.shard_wear server in
+    let reqs = Workload.generate ~seed ~requests:cfg.epoch_requests cfg.mix in
+    ignore (Server.run ?pool server reqs);
+    let after = Server.shard_wear server in
+    List.map
+      (fun (id, _status, w) ->
+        (match List.assoc_opt id (List.map (fun (i, _, a) -> (i, a)) before) with
+        | Some w0 -> Array.mapi (fun i c -> c - w0.(i)) w
+        | None -> w)
+        |> fun delta -> (id, delta))
+      after
+  in
+  (* epoch 0: materialise the fleet, measure the first rates *)
+  let deltas0 = run_epoch () in
+  let models =
+    List.map (fun (id, delta) -> init_model cfg ~id ~meas:(Array.length delta)) deltas0
+  in
+  let total_shards = List.length models in
+  if total_shards = 0 then invalid_arg "Horizon.run: empty fleet";
+  let apply_deltas deltas =
+    List.iter
+      (fun sm ->
+        match List.assoc_opt sm.sm_id deltas with
+        | Some delta -> set_rates cfg sm delta
+        | None -> ())
+      models
+  in
+  (* power-on scrub may already have killed shards: sync the server fleet *)
+  List.iter
+    (fun sm -> if not sm.sm_alive then ignore (Server.force_retire server sm.sm_id))
+    models;
+  apply_deltas deltas0;
+  let trajectory = ref [] in
+  let record epoch =
+    let skew = Wear.skew_of (fleet_wear_snapshot models) in
+    trajectory :=
+      { hz_epoch = epoch; hz_capacity = capacity_of models total_shards; hz_skew = skew }
+      :: !trajectory
+  in
+  record 0.0;
+  let ttff = ref None in
+  let total_writes = ref 0.0 in
+  let now = ref 0.0 in
+  let last_sample = ref 0.0 in
+  let stop = ref None in
+  let events = ref 0 in
+  let eps = 1e-9 *. cfg.endurance in
+  let resample () =
+    let deltas = run_epoch () in
+    apply_deltas deltas;
+    last_sample := !now
+  in
+  (* Kill every cell at or past the endurance threshold, remap its logical
+     line to a spare, and propagate shard death into the live fleet so the
+     next sampled epoch reroutes traffic.  Returns whether fleet capacity
+     changed. *)
+  let process_deaths () =
+    let fleet_changed = ref false in
+    List.iter
+      (fun sm ->
+        if sm.sm_alive then begin
+          let shard_changed = ref false in
+          Array.iteri
+            (fun p w ->
+              if
+                sm.sm_alive && (not sm.sm_dead.(p))
+                && sm.sm_inverse.(p) >= 0
+                && w +. eps >= cfg.endurance
+              then begin
+                if !ttff = None then ttff := Some !now;
+                if sm.sm_first_death = None then sm.sm_first_death <- Some !now;
+                sm.sm_dead.(p) <- true;
+                sm.sm_wear.(p) <- 0.0;
+                let l = sm.sm_inverse.(p) in
+                sm.sm_inverse.(p) <- -1;
+                if sm.sm_wear_retire then scrub_line sm ~epoch:!now l
+                else begin
+                  sm.sm_alive <- false;
+                  sm.sm_dead_epoch <- Some !now
+                end;
+                shard_changed := true
+              end)
+            sm.sm_wear;
+          if !shard_changed then begin
+            refresh_prate sm;
+            if not sm.sm_alive then begin
+              ignore (Server.force_retire server sm.sm_id);
+              fleet_changed := true
+            end
+          end
+        end)
+      models;
+    !fleet_changed
+  in
+  while !stop = None do
+    incr events;
+    let capacity = capacity_of models total_shards in
+    if capacity < cfg.capacity_floor then
+      stop := Some (if capacity = 0.0 then Fleet_dead else Capacity_floor)
+    else if !now >= cfg.max_epochs || !events > 1_000_000 then stop := Some Max_epochs
+    else begin
+      let next_sample = !last_sample +. cfg.sample_every in
+      let e_death =
+        List.fold_left
+          (fun acc sm ->
+            if sm.sm_alive then
+              min acc
+                (Lifetime.epochs_to_threshold ~threshold:cfg.endurance
+                   ~wear:sm.sm_wear ~rate:sm.sm_rate)
+            else acc)
+          infinity models
+      in
+      let death_at = !now +. e_death in
+      let target = min (min next_sample cfg.max_epochs) death_at in
+      let dt = target -. !now in
+      List.iter
+        (fun sm ->
+          if sm.sm_alive then begin
+            total_writes :=
+              !total_writes +. (dt *. Array.fold_left ( +. ) 0.0 sm.sm_rate);
+            Lifetime.fast_forward_into ~epochs:dt ~wear:sm.sm_wear ~rate:sm.sm_rate
+          end)
+        models;
+      now := target;
+      if target = death_at && e_death < infinity then begin
+        let fleet_changed = process_deaths () in
+        if fleet_changed then begin
+          record !now;
+          if capacity_of models total_shards >= cfg.capacity_floor then resample ()
+        end
+      end
+      else if target = next_sample && target < cfg.max_epochs then begin
+        resample ();
+        record !now
+      end
+      (* target = max_epochs: the loop head stops on the next iteration *)
+    end
+  done;
+  let stop = match !stop with Some s -> s | None -> Max_epochs in
+  record !now;
+  let trajectory = List.rev !trajectory in
+  let capacity_curve = List.map (fun s -> (s.hz_epoch, s.hz_capacity)) trajectory in
+  let final_capacity = capacity_of models total_shards in
+  let dead = List.length (List.filter (fun sm -> not sm.sm_alive) models) in
+  { r_strategy = cfg.strategy;
+    r_fault_rate = cfg.fault_spec.Fault_model.sa0 +. cfg.fault_spec.Fault_model.sa1;
+    r_endurance = cfg.endurance;
+    r_epochs = !now;
+    r_stop = stop;
+    r_ttff = !ttff;
+    r_half_life = Lifetime.half_life ~initial:1.0 capacity_curve;
+    r_final_capacity = final_capacity;
+    r_dead_shards = dead;
+    r_alive_shards = total_shards - dead;
+    r_sampled_epochs = !sampled;
+    r_total_writes = !total_writes;
+    r_skew = Wear.skew_of (fleet_wear_snapshot models);
+    r_shards =
+      List.map
+        (fun sm ->
+          { sh_id = sm.sm_id;
+            sh_cells = sm.sm_cells;
+            sh_first_death = sm.sm_first_death;
+            sh_dead_epoch = sm.sm_dead_epoch;
+            sh_retired_cells = Remap.remaps sm.sm_rm })
+        models;
+    r_trajectory = trajectory;
+    r_epoch_seconds = cfg.epoch_seconds;
+    r_project_factor = cfg.project_endurance /. cfg.endurance }
+
+(* --- grid -------------------------------------------------------------- *)
+
+let spec_of_rate ?(seed = 0xFA17) rate =
+  if rate <= 0.0 then Fault_model.none
+  else Fault_model.make ~sa0:(rate *. 2.0 /. 3.0) ~sa1:(rate /. 3.0) ~seed ()
+
+let grid ?pool ?fault_seed cfg ~strategies ~fault_rates =
+  let cells =
+    List.concat_map
+      (fun strategy -> List.map (fun rate -> (strategy, rate)) fault_rates)
+      strategies
+  in
+  let one (strategy, rate) =
+    let c =
+      { cfg with strategy; fault_spec = spec_of_rate ?seed:fault_seed rate }
+    in
+    (strategy, rate, run ?pool c)
+  in
+  match pool with
+  | Some p -> Plim_par.map p ~f:one cells
+  | None -> List.map one cells
+
+(* --- reporting --------------------------------------------------------- *)
+
+let seconds_per_year = 31_557_600.0
+
+let years_of r epochs = epochs *. r.r_epoch_seconds /. seconds_per_year
+
+let label r = Printf.sprintf "%s/r%g" (strategy_name r.r_strategy) r.r_fault_rate
+
+(* [-1] encodes "did not happen before the campaign stopped" — the schema
+   has no nulls so the rows stay greppable and diffable. *)
+let opt_epochs = function Some e -> e | None -> -1.0
+
+let decimate ~keep xs =
+  let n = List.length xs in
+  if n <= keep then xs
+  else
+    let arr = Array.of_list xs in
+    List.init keep (fun i ->
+        if i = keep - 1 then arr.(n - 1) else arr.(i * (n - 1) / (keep - 1)))
+
+let row_json ?label:lbl r =
+  let lbl = match lbl with Some l -> l | None -> label r in
+  let b = Buffer.create 1024 in
+  let opt_years = function Some e -> years_of r e | None -> -1.0 in
+  let proj = function
+    | Some e -> years_of r e *. r.r_project_factor
+    | None -> -1.0
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"plim-horizon/v1\",\"label\":%S,\"strategy\":%S,\
+        \"fault_rate\":%.6g,\"endurance\":%.6g,\"epochs\":%.6g,\"stop\":%S,\
+        \"ttff_epochs\":%.6g,\"ttff_years\":%.6g,\"half_life_epochs\":%.6g,\
+        \"half_life_years\":%.6g,\"proj_ttff_years\":%.6g,\
+        \"proj_half_life_years\":%.6g,\"final_capacity\":%.6g,\
+        \"capacity_loss\":%.6g,\"dead_shards\":%d,\"alive_shards\":%d,\
+        \"sampled_epochs\":%d,\"total_writes\":%.6g,\"skew\":%s,\
+        \"trajectory\":["
+       lbl
+       (strategy_name r.r_strategy)
+       r.r_fault_rate r.r_endurance r.r_epochs
+       (stop_reason_name r.r_stop)
+       (opt_epochs r.r_ttff) (opt_years r.r_ttff)
+       (opt_epochs r.r_half_life) (opt_years r.r_half_life)
+       (proj r.r_ttff) (proj r.r_half_life)
+       r.r_final_capacity
+       (1.0 -. r.r_final_capacity)
+       r.r_dead_shards r.r_alive_shards r.r_sampled_epochs r.r_total_writes
+       (Wear.skew_json r.r_skew));
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"epoch\":%.6g,\"capacity\":%.6g,\"gini\":%.6g,\"max_mean\":%.6g}"
+           s.hz_epoch s.hz_capacity s.hz_skew.Wear.gini s.hz_skew.Wear.max_mean))
+    (decimate ~keep:48 r.r_trajectory);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_result ppf r =
+  let f = function Some e -> Printf.sprintf "%.4g" e | None -> "-" in
+  Format.fprintf ppf
+    "%-17s r=%-6g ttff=%-8s half-life=%-8s epochs=%-8g capacity=%.2f dead=%d"
+    (strategy_name r.r_strategy)
+    r.r_fault_rate (f r.r_ttff) (f r.r_half_life) r.r_epochs r.r_final_capacity
+    r.r_dead_shards

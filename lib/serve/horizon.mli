@@ -1,0 +1,150 @@
+(** Device-lifetime horizon campaigns: years of traffic in seconds.
+
+    The serve fleet simulates individual requests; RRAM endurance questions
+    live at 1e10 writes per cell — ~10 orders of magnitude of traffic no
+    per-write simulation can cover.  A horizon campaign closes the gap with
+    accelerated time: every [sample_every] epochs one {e sampled epoch} of
+    real {!Workload} traffic runs through the {!Server} fleet and the
+    per-shard, per-cell write deltas become {e rates}; between samples wear
+    advances in closed form ({!Plim_stats.Lifetime.fast_forward}) and the
+    driver jumps straight to the next event — the earliest predicted cell
+    death, the next sample boundary, or the epoch horizon — so runtime
+    scales with {e events}, not with endurance.
+
+    The endurance strategy is a first-class axis.  Per strategy the
+    stationary per-cell rate distribution is:
+
+    - [none] — the measured per-cell deltas verbatim (exact: linear
+      extrapolation of an unmanaged array is lossless while placement is
+      stable);
+    - [start_gap] — uniform over [n+1] lines with [1/psi] gap-copy
+      overhead ({!Plim_rram.Start_gap});
+    - [wolfram_remap] — uniform over [n] lines with [n/period] re-key
+      migration overhead ({!Plim_rram.Wolfram});
+    - [start_gap+wolfram] — uniform over [n+1] with both overheads
+      compounded, the WoLFRaM result (arXiv 2010.02825) of programmable
+      remapping {e under} rotation.
+
+    Uniformity is the stationary distribution of each levelling layer; its
+    mixing time (at most [n * psi] writes) is negligible against device
+    lifetime, which is what makes the closed form sound.
+
+    Faults: the model layer owns the permanent-fault population and a
+    per-shard {!Plim_fault.Remap} spare pool; worn-out or faulty lines
+    retire onto spares and a shard dies when the pool runs dry (the live
+    server shard is {!Server.force_retire}d so the next sampled epoch
+    reroutes its traffic).  The live fleet itself runs fault-free — the
+    fault-rate axis therefore only consumes spare budget, which keeps
+    time-to-first-failure and capacity half-life monotone in the rate.
+
+    One asymmetry in the matrix is deliberate: under [start_gap] {e alone}
+    a wear-out death takes the whole shard, because the rotation marches
+    over a contiguous physical range and would copy straight into a
+    retired line — classic Start-Gap composes with factory defect maps
+    (power-on scrub still patches those) but not with wear-time spare
+    retirement.  The programmable remap of [wolfram_remap] and
+    [start_gap+wolfram] is exactly what restores graceful degradation, so
+    the combined strategy matches Start-Gap's time-to-first-failure while
+    keeping WoLFRaM's capacity half-life. *)
+
+type strategy = No_leveling | Start_gap | Wolfram_remap | Start_gap_wolfram
+
+val all_strategies : strategy list
+(** In canonical grid order: none, start_gap, wolfram_remap,
+    start_gap+wolfram. *)
+
+val strategy_name : strategy -> string
+
+val strategy_of_string : string -> (strategy, string) result
+
+type config = {
+  server : Server.config;
+      (** fleet shape; [fault_spec] and [endurance] in here are overridden
+          (the live fleet runs fault-free and never retires on its own —
+          the horizon model owns both). *)
+  mix : Workload.mix;
+  strategy : strategy;
+  fault_spec : Plim_fault.Fault_model.spec;
+      (** permanent faults of the {e model} layer, seeded per shard. *)
+  endurance : float;       (** per-cell write budget of the campaign *)
+  epoch_requests : int;    (** requests per epoch of simulated traffic *)
+  sample_every : float;    (** epochs between sampled (really-executed) epochs *)
+  max_epochs : float;      (** hard horizon *)
+  capacity_floor : float;  (** stop when alive-shard fraction drops below *)
+  psi : int;               (** Start-Gap rotation period *)
+  wolfram_period : int;    (** writes between WoLFRaM re-keys *)
+  model_spares : int;      (** spare lines per shard in the wear model *)
+  epoch_seconds : float;   (** wall-clock seconds one epoch represents *)
+  project_endurance : float;
+      (** real device endurance (default 1e10) the [proj_*_years] row
+          fields linearly rescale to. *)
+}
+
+val default_config : config
+
+type stop_reason = Capacity_floor | Fleet_dead | Max_epochs
+
+val stop_reason_name : stop_reason -> string
+
+type sample = { hz_epoch : float; hz_capacity : float; hz_skew : Plim_telemetry.Wear.skew }
+
+type shard_report = {
+  sh_id : int;
+  sh_cells : int;
+  sh_first_death : float option;
+  sh_dead_epoch : float option;
+  sh_retired_cells : int;
+}
+
+type result = {
+  r_strategy : strategy;
+  r_fault_rate : float;
+  r_endurance : float;
+  r_epochs : float;            (** epochs simulated before stopping *)
+  r_stop : stop_reason;
+  r_ttff : float option;       (** epoch of the first cell wear-out death *)
+  r_half_life : float option;
+      (** first epoch the fleet is at half its design capacity *)
+  r_final_capacity : float;
+  r_dead_shards : int;
+  r_alive_shards : int;
+  r_sampled_epochs : int;      (** really-executed epochs *)
+  r_total_writes : float;      (** modelled writes across the fleet *)
+  r_skew : Plim_telemetry.Wear.skew;
+  r_shards : shard_report list;
+  r_trajectory : sample list;
+  r_epoch_seconds : float;
+  r_project_factor : float;
+}
+
+val run : ?pool:Plim_par.t -> config -> result
+(** One campaign.  Deterministic: a pure function of the config — the
+    pool parallelises sampled-epoch batches without affecting any
+    value. *)
+
+val grid :
+  ?pool:Plim_par.t ->
+  ?fault_seed:int ->
+  config ->
+  strategies:strategy list ->
+  fault_rates:float list ->
+  (strategy * float * result) list
+(** The strategy × fault-rate grid, strategies outer, in submission order
+    (byte-identical at any [-j] width).  Each rate becomes a coupled-
+    threshold {!Plim_fault.Fault_model} spec (2/3 SA0, 1/3 SA1), so fault
+    sets are supersets along the rate axis. *)
+
+val spec_of_rate : ?seed:int -> float -> Plim_fault.Fault_model.spec
+
+val years_of : result -> float -> float
+(** Convert epochs to simulated years at the result's [epoch_seconds]. *)
+
+val label : result -> string
+(** ["<strategy>/r<rate>"], the default row label. *)
+
+val row_json : ?label:string -> result -> string
+(** One [plim-horizon/v1] row.  Optional lifetimes that never happened
+    before the stop are encoded as [-1] (the schema carries no nulls);
+    the trajectory is decimated to at most 48 points. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -465,6 +465,10 @@ let shard_statuses t =
   Array.to_list t.fleet
   |> List.map (fun s -> (Shard.id s, Shard.status s, Shard.total_writes s))
 
+let shard_wear t =
+  Array.to_list t.fleet
+  |> List.map (fun s -> (Shard.id s, Shard.status s, Shard.wear_counts s))
+
 let fleet_heatmap_json t =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"schema\":\"plim-serve-fleet/v1\",\"shards\":[";

@@ -111,6 +111,12 @@ val shard_statuses : t -> (int * Shard.status * int) list
 (** [(id, status, total_writes)] per shard, ascending id; empty before
     the fleet materialises. *)
 
+val shard_wear : t -> (int * Shard.status * int array) list
+(** [(id, status, per-cell write counts)] per shard, ascending id; empty
+    before the fleet materialises.  The arrays are copies — diffing two
+    snapshots around a batch yields the per-cell write {e rate} that
+    {!Horizon} extrapolates between sampled epochs. *)
+
 val force_retire : t -> int -> bool
 (** Administratively retire a shard (the forced-retirement scenario).
     [false] if the fleet is not materialised yet, the id is unknown, or

@@ -21,3 +21,41 @@ val estimate : endurance:float -> int array -> t
     execution. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Accelerated-time extrapolation}
+
+    Pure float math behind {!Plim_serve.Horizon}: wear advances linearly
+    at a per-cell rate (writes per epoch) between sampled epochs, so whole
+    device lifetimes — years of traffic — collapse into a handful of
+    closed-form jumps.  All functions are deterministic and allocation
+    order independent, which keeps horizon campaigns byte-identical at any
+    [-j] width. *)
+
+val fast_forward : epochs:float -> wear:float array -> rate:float array -> float array
+(** [fast_forward ~epochs ~wear ~rate] is the wear after [epochs] more
+    epochs at constant per-cell rates: [wear.(i) +. epochs *. rate.(i)].
+    Equals replaying the same per-epoch deltas [epochs] times (exactly,
+    for integer-valued inputs within the float-exact range).
+    @raise Invalid_argument on length mismatch or negative [epochs]. *)
+
+val fast_forward_into : epochs:float -> wear:float array -> rate:float array -> unit
+(** In-place variant of {!fast_forward}. *)
+
+val epochs_to_threshold : threshold:float -> wear:float array -> rate:float array -> float
+(** Smallest [e >= 0] such that some cell reaches the threshold:
+    [wear.(i) +. e *. rate.(i) >= threshold].  [infinity] when no cell
+    ever reaches it (all rates zero or array empty); [0] when a cell is
+    already at or past the threshold. *)
+
+val leveled_rate : ?overhead:float -> cells:int -> total:float -> unit -> float
+(** Stationary per-cell write rate of an ideal levelling layer spreading
+    [total] writes per epoch uniformly over [cells] physical lines, plus a
+    fractional bookkeeping [overhead] (default 0): Start-Gap pays
+    [1/psi] gap copies per write, WoLFRaM re-keying pays
+    [lines/period] migration copies per write
+    ({!Plim_rram.Wolfram.migration_overhead}). *)
+
+val half_life : initial:float -> (float * float) list -> float option
+(** [half_life ~initial trajectory] is the first epoch in the ascending
+    [(epoch, capacity)] step curve where capacity has dropped to half of
+    [initial], or [None] if it never does. *)

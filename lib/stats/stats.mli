@@ -14,12 +14,22 @@ type summary = {
   stdev : float;        (** population standard deviation *)
   p50 : int;            (** median write count (nearest-rank) *)
   p90 : int;
-  p99 : int;            (** the wear tail that bounds device lifetime *)
+  p99 : int;
+      (** the wear tail that informs device lifetime.  Beware the
+          nearest-rank rule on small samples: with fewer than 100 cells
+          the 0.99 rank rounds up to the last element, so [p99 = max] —
+          it is a tail {e witness}, not an interpolated estimate, and
+          only a lifetime bound through [max]. *)
 }
 
 val summarize : int array -> summary
 (** The empty array summarises to {!zero_summary}.  Quantiles are
-    nearest-rank, consistent with {!quantile}. *)
+    nearest-rank, consistent with {!quantile}: the q-quantile of [n]
+    sorted samples is element [ceil (q * n) - 1] (clamped to
+    [[0, n-1]]).  No interpolation ever happens, so every reported
+    quantile is a value that actually occurs in the data; for
+    [n < 1 / (1 - q)] (e.g. [n < 100] at q = 0.99) the rank clamps to
+    the last element and the quantile silently equals the maximum. *)
 
 val zero_summary : summary
 (** All fields zero — the summary of no cells at all. *)
@@ -39,7 +49,11 @@ val improvement_pct : baseline:float -> float -> float
     Returns 0 when [baseline] is 0. *)
 
 val quantile : float -> int array -> int
-(** [quantile q xs] with [q] in [0,1]; nearest-rank on a sorted copy. *)
+(** [quantile q xs] with [q] in [0,1]; nearest-rank on a sorted copy —
+    element [ceil (q * n) - 1], clamped.  [quantile 0.0] is the minimum,
+    [quantile 1.0] the maximum, and any [q > (n-1)/n] returns the
+    maximum (see the {!summary} [p99] caveat for small [n]).
+    @raise Invalid_argument on an empty array or [q] outside [0,1]. *)
 
 val histogram : bucket:int -> int array -> (int * int) list
 (** [histogram ~bucket xs] buckets values into ranges of width [bucket] and

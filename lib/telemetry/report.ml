@@ -106,6 +106,34 @@ let serve_rows_of j =
           r_metrics = serve_metrics_of row })
       rows
 
+(* plim-horizon/v1 rows: only cost-like metrics fold into the gate
+   (larger = worse).  Lifetimes (ttff, half-life) are better-larger and
+   would read as regressions when they improve, so they stay out of the
+   comparison and live in the row for humans and dashboards. *)
+let horizon_metrics_of row =
+  let take name v acc = match v with Some f -> (name, f) :: acc | None -> acc in
+  []
+  |> take "capacity_loss" (num "capacity_loss" row)
+  |> take "dead_shards" (num "dead_shards" row)
+  |> take "skew.gini" (sub_num "skew" "gini" row)
+  |> take "skew.max_mean" (sub_num "skew" "max_mean" row)
+  |> take "sampled_epochs" (num "sampled_epochs" row)
+  |> List.rev
+
+let horizon_rows_of j =
+  match Option.bind (Json.member "horizon" j) Json.to_list with
+  | None -> []
+  | Some rows ->
+    List.map
+      (fun row ->
+        let label =
+          Option.value ~default:"?"
+            (Option.bind (Json.member "label" row) Json.to_string)
+        in
+        { r_benchmark = "horizon:" ^ label; r_config = "horizon";
+          r_metrics = horizon_metrics_of row })
+      rows
+
 let rows_of j =
   match Option.bind (Json.member "benchmarks" j) Json.to_list with
   | None -> Error "no \"benchmarks\" array (not a plim-bench file?)"
@@ -132,7 +160,7 @@ let rows_of j =
             configs)
         benchmarks
     in
-    Ok (rows @ serve_rows_of j)
+    Ok (rows @ serve_rows_of j @ horizon_rows_of j)
 
 let key r = r.r_benchmark ^ "/" ^ r.r_config
 

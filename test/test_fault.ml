@@ -95,15 +95,7 @@ let test_wearout_becomes_stuck () =
 
 (* --- fault-tolerant execution ------------------------------------------- *)
 
-let adder4 =
-  lazy
-    (let g = Plim_benchgen.Arith.adder ~width:4 in
-     let p = (Pipeline.compile Pipeline.endurance_full g).Pipeline.program in
-     let inputs =
-       Array.to_list (Array.mapi (fun i (n, _) -> (n, i mod 3 <> 1)) p.Program.pi_cells)
-     in
-     let reference, _, _ = Controller.run p ~inputs in
-     (p, inputs, reference))
+let adder4 = Helpers.adder4
 
 let run_with ~faults ~spares ?spec () =
   let p, inputs, _ = Lazy.force adder4 in

@@ -1,0 +1,324 @@
+(* Accelerated-time extrapolation and horizon-campaign tests.
+
+   The closed-form layer (Lifetime.fast_forward and friends) is checked
+   against brute-force replay; the Horizon driver is checked for its
+   headline properties — half-life monotone non-increasing in the fault
+   rate, the combined strategy strictly outliving the unmanaged one, and
+   byte-identical rows at every -j width. *)
+
+module Lifetime = Plim_stats.Lifetime
+module Horizon = Plim_serve.Horizon
+module Campaign = Plim_machine.Campaign
+module Start_gap = Plim_rram.Start_gap
+module Wolfram = Plim_rram.Wolfram
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qc = QCheck_alcotest.to_alcotest
+
+(* --- extrapolation math ------------------------------------------------- *)
+
+(* integer-valued wear/rate arrays: fast_forward over k epochs must equal
+   k single-epoch steps exactly (all sums stay in the float-exact range) *)
+let fast_forward_matches_replay =
+  QCheck.Test.make ~count:200 ~name:"fast_forward = iterated single-epoch replay"
+    QCheck.(pair (int_range 0 40) (list_of_size (QCheck.Gen.int_range 1 12)
+                                     (pair (int_range 0 50) (int_range 0 50))))
+    (fun (k, cells) ->
+      let wear = Array.of_list (List.map (fun (w, _) -> float_of_int w) cells) in
+      let rate = Array.of_list (List.map (fun (_, r) -> float_of_int r) cells) in
+      let direct = Lifetime.fast_forward ~epochs:(float_of_int k) ~wear ~rate in
+      let stepped = ref wear in
+      for _ = 1 to k do
+        stepped := Lifetime.fast_forward ~epochs:1.0 ~wear:!stepped ~rate
+      done;
+      direct = !stepped)
+
+let epochs_to_threshold_is_first_crossing =
+  QCheck.Test.make ~count:200 ~name:"epochs_to_threshold is the first crossing"
+    QCheck.(pair (int_range 1 500) (list_of_size (QCheck.Gen.int_range 1 12)
+                                      (pair (int_range 0 400) (int_range 0 9))))
+    (fun (threshold_i, cells) ->
+      let threshold = float_of_int threshold_i in
+      let wear = Array.of_list (List.map (fun (w, _) -> float_of_int w) cells) in
+      let rate = Array.of_list (List.map (fun (_, r) -> float_of_int r) cells) in
+      let e = Lifetime.epochs_to_threshold ~threshold ~wear ~rate in
+      let reference =
+        Array.to_list (Array.mapi (fun i w ->
+            if w >= threshold then 0.0
+            else if rate.(i) > 0.0 then (threshold -. w) /. rate.(i)
+            else infinity) wear)
+        |> List.fold_left min infinity
+      in
+      if e <> reference then false
+      else if e = infinity || e = 0.0 then true
+      else begin
+        (* at the crossing: no cell is past the threshold, some cell is on it *)
+        let advanced = Lifetime.fast_forward ~epochs:e ~wear ~rate in
+        Array.for_all (fun w -> w < threshold +. 1e-9) advanced
+        && Array.exists (fun w -> w >= threshold -. 1e-9) advanced
+      end)
+
+let test_fast_forward_edges () =
+  let wear = [| 1.0; 2.0 |] and rate = [| 3.0; 0.0 |] in
+  Alcotest.(check (array (float 0.0))) "zero epochs is identity" wear
+    (Lifetime.fast_forward ~epochs:0.0 ~wear ~rate);
+  let w = Array.copy wear in
+  Lifetime.fast_forward_into ~epochs:2.0 ~wear:w ~rate;
+  Alcotest.(check (array (float 0.0))) "in-place agrees"
+    (Lifetime.fast_forward ~epochs:2.0 ~wear ~rate) w;
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Lifetime.fast_forward: wear and rate lengths differ")
+    (fun () -> ignore (Lifetime.fast_forward ~epochs:1.0 ~wear ~rate:[| 1.0 |]));
+  Alcotest.check_raises "negative epochs"
+    (Invalid_argument "Lifetime.fast_forward: negative epochs")
+    (fun () -> ignore (Lifetime.fast_forward ~epochs:(-1.0) ~wear ~rate))
+
+let test_epochs_to_threshold_edges () =
+  let t = Lifetime.epochs_to_threshold ~threshold:10.0 in
+  check_bool "already over threshold" true
+    (t ~wear:[| 11.0; 0.0 |] ~rate:[| 0.0; 1.0 |] = 0.0);
+  check_bool "no positive rate" true
+    (t ~wear:[| 1.0; 2.0 |] ~rate:[| 0.0; 0.0 |] = infinity);
+  Alcotest.(check (float 1e-12)) "simple crossing" 4.0
+    (t ~wear:[| 2.0 |] ~rate:[| 2.0 |])
+
+let test_leveled_rate () =
+  Alcotest.(check (float 1e-12)) "uniform split" 25.0
+    (Lifetime.leveled_rate ~cells:4 ~total:100.0 ());
+  Alcotest.(check (float 1e-12)) "overhead scales" 27.5
+    (Lifetime.leveled_rate ~overhead:0.1 ~cells:4 ~total:100.0 ());
+  Alcotest.check_raises "zero cells refused"
+    (Invalid_argument "Lifetime.leveled_rate: cells must be positive")
+    (fun () -> ignore (Lifetime.leveled_rate ~cells:0 ~total:1.0 ()))
+
+let test_half_life () =
+  let traj = [ (0.0, 1.0); (10.0, 0.8); (20.0, 0.5); (30.0, 0.2) ] in
+  check_bool "first crossing" true
+    (Lifetime.half_life ~initial:1.0 traj = Some 20.0);
+  check_bool "never crosses" true
+    (Lifetime.half_life ~initial:1.0 [ (0.0, 1.0); (5.0, 0.6) ] = None);
+  check_bool "empty trajectory" true (Lifetime.half_life ~initial:1.0 [] = None)
+
+(* --- closed-form stationary rates vs actual replay ---------------------- *)
+
+(* the horizon model treats a levelled layer as uniform-with-overhead; the
+   replayed physical counts of the real layers must match that closed form
+   on the mean and stay near-uniform on the max *)
+let test_start_gap_matches_closed_form () =
+  let per_exec = [| 5; 3; 0; 1; 0; 0; 2; 0 |] in
+  let n = Array.length per_exec in
+  let psi = 10 and executions = 2_000 in
+  let counts = Start_gap.replay ~psi ~executions per_exec in
+  check_int "n + 1 physical lines" (n + 1) (Array.length counts);
+  let logical = float_of_int (executions * Array.fold_left ( + ) 0 per_exec) in
+  let predicted =
+    Lifetime.leveled_rate ~overhead:(1.0 /. float_of_int psi)
+      ~cells:(n + 1) ~total:logical ()
+  in
+  let total = float_of_int (Array.fold_left ( + ) 0 counts) in
+  let mean = total /. float_of_int (n + 1) in
+  check_bool
+    (Printf.sprintf "mean %.1f within 2%% of closed form %.1f" mean predicted)
+    true
+    (abs_float (mean -. predicted) /. predicted < 0.02);
+  let mx = float_of_int (Array.fold_left max 0 counts) in
+  check_bool
+    (Printf.sprintf "near-uniform: max/mean %.3f" (mx /. mean))
+    true (mx /. mean < 1.15)
+
+let test_wolfram_matches_closed_form () =
+  let per_exec = [| 50; 1; 1; 1 |] in
+  let n = Array.length per_exec in
+  let period = 200 and executions = 800 in
+  let counts = Wolfram.replay ~period ~seed:7 ~executions per_exec in
+  check_int "n physical lines" n (Array.length counts);
+  let logical = float_of_int (executions * Array.fold_left ( + ) 0 per_exec) in
+  let predicted =
+    Lifetime.leveled_rate
+      ~overhead:(Wolfram.migration_overhead ~period ~lines:n)
+      ~cells:n ~total:logical ()
+  in
+  let total = float_of_int (Array.fold_left ( + ) 0 counts) in
+  let mean = total /. float_of_int n in
+  check_bool
+    (Printf.sprintf "mean %.1f within 5%% of closed form %.1f" mean predicted)
+    true
+    (abs_float (mean -. predicted) /. predicted < 0.05);
+  let mx = float_of_int (Array.fold_left max 0 counts) in
+  check_bool
+    (Printf.sprintf "re-keying levels the hot line: max/mean %.3f" (mx /. mean))
+    true (mx /. mean < 1.5)
+
+(* --- endurance campaigns through the new layers ------------------------- *)
+
+let campaign_program =
+  lazy
+    (let g = Plim_benchgen.Arith.multiplier ~width:4 in
+     (Plim_core.Pipeline.compile Plim_core.Pipeline.naive g).Plim_core.Pipeline.program)
+
+let test_campaign_wolfram_extends_lifetime () =
+  let p = Lazy.force campaign_program in
+  let endurance = 2000 in
+  let plain = Campaign.run_until_failure ~endurance ~max_executions:5000 p in
+  let remapped =
+    Campaign.run_with_wolfram ~period:500 ~endurance ~max_executions:5000 p
+  in
+  check_bool
+    (Printf.sprintf "wolfram %d >= plain %d executions"
+       remapped.Campaign.executions_completed plain.Campaign.executions_completed)
+    true
+    (remapped.Campaign.executions_completed >= plain.Campaign.executions_completed);
+  (* migrations are charged as real writes *)
+  check_bool "migration traffic counted" true
+    (remapped.Campaign.write_total > plain.Campaign.write_total
+     || not remapped.Campaign.failed)
+
+let test_campaign_combined_extends_lifetime () =
+  let p = Lazy.force campaign_program in
+  let endurance = 2000 in
+  let plain = Campaign.run_until_failure ~endurance ~max_executions:5000 p in
+  let combined =
+    Campaign.run_with_start_gap_wolfram ~psi:50 ~period:500 ~endurance
+      ~max_executions:5000 p
+  in
+  check_bool
+    (Printf.sprintf "start_gap+wolfram %d >= plain %d executions"
+       combined.Campaign.executions_completed plain.Campaign.executions_completed)
+    true
+    (combined.Campaign.executions_completed >= plain.Campaign.executions_completed)
+
+(* --- horizon campaigns -------------------------------------------------- *)
+
+(* a small fast grid config: the default fleet and mix, shorter horizon *)
+let hz_config = Horizon.default_config
+
+let test_strategy_names_round_trip () =
+  List.iter
+    (fun s ->
+      match Horizon.strategy_of_string (Horizon.strategy_name s) with
+      | Ok s' -> check_bool (Horizon.strategy_name s) true (s = s')
+      | Error e -> Alcotest.failf "round trip failed: %s" e)
+    Horizon.all_strategies;
+  check_bool "junk rejected" true
+    (Result.is_error (Horizon.strategy_of_string "no-such-strategy"))
+
+let opt_inf = function None -> infinity | Some e -> e
+
+let test_half_life_monotone_in_fault_rate () =
+  let rates = [ 0.0; 0.02; 0.05 ] in
+  let cells =
+    Horizon.grid hz_config ~strategies:[ Horizon.No_leveling ] ~fault_rates:rates
+  in
+  let half_lives =
+    List.map (fun (_, _, r) -> opt_inf r.Horizon.r_half_life) cells
+  in
+  (match half_lives with
+  | [ h0; _; _ ] -> check_bool "fault-free half-life exists" true (h0 < infinity)
+  | _ -> Alcotest.fail "expected three grid cells");
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      check_bool
+        (Printf.sprintf "half-life %.1f >= %.1f at the higher rate" a b)
+        true (a >= b);
+      monotone rest
+    | _ -> ()
+  in
+  monotone half_lives
+
+let test_combined_outlives_none () =
+  let cells =
+    Horizon.grid hz_config
+      ~strategies:[ Horizon.No_leveling; Horizon.Start_gap_wolfram ]
+      ~fault_rates:[ 0.0; 0.02 ]
+  in
+  let find s rate =
+    let _, _, r =
+      List.find (fun (s', rate', _) -> s' = s && rate' = rate) cells
+    in
+    r
+  in
+  List.iter
+    (fun rate ->
+      let base = find Horizon.No_leveling rate in
+      let both = find Horizon.Start_gap_wolfram rate in
+      check_bool
+        (Printf.sprintf "ttff at rate %g: combined > none" rate)
+        true
+        (opt_inf both.Horizon.r_ttff > opt_inf base.Horizon.r_ttff
+         || base.Horizon.r_ttff = None);
+      check_bool
+        (Printf.sprintf "half-life at rate %g: combined > none" rate)
+        true
+        (opt_inf both.Horizon.r_half_life > opt_inf base.Horizon.r_half_life
+         || base.Horizon.r_half_life = None))
+    [ 0.0; 0.02 ]
+
+(* the pinned replay gate: the whole grid, rows rendered to JSON, must be
+   byte-identical between a sequential run and a 4-domain pool *)
+let test_grid_byte_identical_across_jobs () =
+  let rates = [ 0.0; 0.01 ] in
+  let render cells =
+    List.map (fun (_, _, r) -> Horizon.row_json r) cells
+  in
+  let seq =
+    render (Horizon.grid hz_config ~strategies:Horizon.all_strategies
+              ~fault_rates:rates)
+  in
+  let par =
+    Plim_par.with_pool ~jobs:4 (fun pool ->
+        render (Horizon.grid ~pool hz_config ~strategies:Horizon.all_strategies
+                  ~fault_rates:rates))
+  in
+  check_int "same row count" (List.length seq) (List.length par);
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "row %d identical" i) a b)
+    (List.combine seq par)
+
+let test_row_json_shape () =
+  let cells =
+    Horizon.grid hz_config ~strategies:[ Horizon.Start_gap ] ~fault_rates:[ 0.0 ]
+  in
+  match cells with
+  | [ (_, _, r) ] ->
+    let row = Horizon.row_json r in
+    List.iter
+      (fun needle ->
+        check_bool needle true
+          (Helpers.contains ~needle row))
+      [ "\"schema\":\"plim-horizon/v1\""; "\"strategy\":\"start_gap\"";
+        "\"ttff_epochs\""; "\"half_life_epochs\""; "\"proj_ttff_years\"";
+        "\"trajectory\"" ]
+  | _ -> Alcotest.fail "expected one grid cell"
+
+let () =
+  Alcotest.run "lifetime"
+    [ ( "extrapolation",
+        [ qc fast_forward_matches_replay;
+          qc epochs_to_threshold_is_first_crossing;
+          Alcotest.test_case "fast_forward edge cases" `Quick test_fast_forward_edges;
+          Alcotest.test_case "epochs_to_threshold edge cases" `Quick
+            test_epochs_to_threshold_edges;
+          Alcotest.test_case "leveled_rate" `Quick test_leveled_rate;
+          Alcotest.test_case "half_life" `Quick test_half_life ] );
+      ( "closed-form-vs-replay",
+        [ Alcotest.test_case "start-gap replay matches closed form" `Quick
+            test_start_gap_matches_closed_form;
+          Alcotest.test_case "wolfram replay matches closed form" `Quick
+            test_wolfram_matches_closed_form ] );
+      ( "campaign",
+        [ Alcotest.test_case "wolfram extends lifetime" `Slow
+            test_campaign_wolfram_extends_lifetime;
+          Alcotest.test_case "start_gap+wolfram extends lifetime" `Slow
+            test_campaign_combined_extends_lifetime ] );
+      ( "horizon",
+        [ Alcotest.test_case "strategy names round-trip" `Quick
+            test_strategy_names_round_trip;
+          Alcotest.test_case "half-life monotone in fault rate" `Quick
+            test_half_life_monotone_in_fault_rate;
+          Alcotest.test_case "start_gap+wolfram outlives none" `Quick
+            test_combined_outlives_none;
+          Alcotest.test_case "grid byte-identical at -j1 and -j4" `Quick
+            test_grid_byte_identical_across_jobs;
+          Alcotest.test_case "row JSON shape" `Quick test_row_json_shape ] ) ]

@@ -6,29 +6,11 @@ module Crossbar = Plim_rram.Crossbar
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-(* NOT gate: z := 1; RM3(0, a, z) -> <0, !a, 1> = !a *)
-let not_program () =
-  Program.make
-    ~instrs:[| I.set_const true 1; I.rm3 ~a:(I.Const false) ~b:(I.Cell 0) ~z:1 |]
-    ~num_cells:2 ~pi_cells:[| ("a", 0) |] ~po_cells:[| ("y", 1) |]
-
-(* COPY: z := 0; RM3(a, 0, z) -> <a, 1, 0> = a *)
-let copy_program () =
-  Program.make
-    ~instrs:[| I.set_const false 1; I.rm3 ~a:(I.Cell 0) ~b:(I.Const false) ~z:1 |]
-    ~num_cells:2 ~pi_cells:[| ("a", 0) |] ~po_cells:[| ("y", 1) |]
-
-(* MAJ3 in place: cells a b z; RM3 needs !b available, so feed b
-   complemented via a NOT into a temp first: full majority test *)
-let maj_program () =
-  Program.make
-    ~instrs:
-      [| I.set_const true 3;
-         I.rm3 ~a:(I.Const false) ~b:(I.Cell 1) ~z:3; (* t := !b *)
-         I.rm3 ~a:(I.Cell 0) ~b:(I.Cell 3) ~z:2 (* z <- <a, b, z> *) |]
-    ~num_cells:4
-    ~pi_cells:[| ("a", 0); ("b", 1); ("c", 2) |]
-    ~po_cells:[| ("y", 2) |]
+(* the NOT / COPY / MAJ3 micro-programs live in Helpers, shared with the
+   fault and lifetime suites *)
+let not_program = Helpers.not_program
+let copy_program = Helpers.copy_program
+let maj_program = Helpers.maj_program
 
 let test_not () =
   List.iter
@@ -131,9 +113,7 @@ let test_endurance_mid_run () =
 (* --- self-hosted execution -------------------------------------------------- *)
 
 let test_self_hosted_matches_direct () =
-  let g = Plim_benchgen.Arith.adder ~width:4 in
-  let r = Plim_core.Pipeline.compile Plim_core.Pipeline.endurance_full g in
-  let p = r.Plim_core.Pipeline.program in
+  let p = Helpers.adder4_program () in
   let rng = Plim_util.Splitmix.create 77 in
   for _ = 1 to 16 do
     let inputs =
@@ -226,9 +206,7 @@ let test_campaign_max_executions () =
   check_int "all executions" 50 o.Campaign.executions_completed
 
 let test_campaign_matches_static_estimate () =
-  let g = Plim_benchgen.Arith.adder ~width:4 in
-  let r = Plim_core.Pipeline.compile Plim_core.Pipeline.endurance_full g in
-  let p = r.Plim_core.Pipeline.program in
+  let p = Helpers.adder4_program () in
   let endurance = 500 in
   let o = Campaign.run_until_failure ~endurance p in
   let max_writes =

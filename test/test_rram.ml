@@ -1,5 +1,7 @@
 module Crossbar = Plim_rram.Crossbar
 module Start_gap = Plim_rram.Start_gap
+module Wolfram = Plim_rram.Wolfram
+module Remap = Plim_fault.Remap
 module Stats = Plim_stats.Stats
 
 let check_int = Alcotest.(check int)
@@ -180,6 +182,121 @@ let start_gap_bijective =
       (* the one physical line left unmapped is exactly the gap *)
       !ok && not seen.(Start_gap.gap_line t))
 
+(* --- WoLFRaM programmable remapping ------------------------------------- *)
+
+let test_wolfram_permutation () =
+  let wf = Wolfram.create ~seed:3 8 in
+  check_int "lines" 8 (Wolfram.num_lines wf);
+  let seen = Array.make 8 false in
+  for la = 0 to 7 do
+    let pa = Wolfram.physical wf la in
+    check_bool "in range" true (pa >= 0 && pa < 8);
+    check_bool "no collision" false seen.(pa);
+    seen.(pa) <- true
+  done;
+  let wf' = Wolfram.create ~seed:3 8 in
+  for la = 0 to 7 do
+    check_int "same seed, same map" (Wolfram.physical wf la) (Wolfram.physical wf' la)
+  done;
+  let other = Wolfram.create ~seed:4 8 in
+  check_bool "different seed, different map" true
+    (List.exists (fun la -> Wolfram.physical other la <> Wolfram.physical wf la)
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_wolfram_rekey_cadence () =
+  let wf = Wolfram.create ~period:10 ~seed:5 4 in
+  for _ = 1 to 9 do
+    Wolfram.write wf 0
+  done;
+  check_int "no re-key before the period" 0 (Wolfram.rekeys wf);
+  Wolfram.write wf 0;
+  check_int "re-key at the period" 1 (Wolfram.rekeys wf);
+  for _ = 1 to 20 do
+    Wolfram.write wf 1
+  done;
+  check_int "one re-key per period" 3 (Wolfram.rekeys wf);
+  check_bool "re-keys migrated lines" true (Wolfram.migration_writes wf > 0)
+
+let test_wolfram_write_accounting () =
+  let wf = Wolfram.create ~period:7 ~seed:9 5 in
+  let migrations = ref 0 in
+  for i = 1 to 40 do
+    Wolfram.write ~on_migrate:(fun _ -> incr migrations) wf (i mod 5)
+  done;
+  check_int "callback sees every migration" (Wolfram.migration_writes wf) !migrations;
+  let counts = Wolfram.physical_write_counts wf in
+  check_int "counts = logical writes + migration copies"
+    (40 + Wolfram.migration_writes wf)
+    (Array.fold_left ( + ) 0 counts)
+
+let test_wolfram_replay_levels_hot_line () =
+  let per_exec = [| 100; 1; 1; 1 |] in
+  let counts = Wolfram.replay ~period:50 ~seed:2 ~executions:50 per_exec in
+  let s = Stats.summarize counts in
+  let unlevelled = Stats.summarize (Array.map (( * ) 50) per_exec) in
+  check_bool
+    (Printf.sprintf "re-keyed stdev %.1f < static stdev %.1f" s.Stats.stdev
+       unlevelled.Stats.stdev)
+    true
+    (s.Stats.stdev < unlevelled.Stats.stdev)
+
+(* property: the composed logical -> Wolfram -> Start-Gap address map is
+   injective into the physical range whatever the interleaving of writes
+   (and therefore of gap moves and re-keys), for any seed; the one
+   physical line left unmapped is exactly the gap *)
+let wolfram_start_gap_bijective =
+  QCheck.Test.make ~count:200
+    ~name:"wolfram-under-start-gap map stays a bijection"
+    QCheck.(quad (int_range 1 9) (int_range 1 8) small_int
+              (list (int_range 0 10_000)))
+    (fun (n, psi, seed, writes) ->
+      let wf = Wolfram.create ~period:7 ~seed n in
+      let sg = Start_gap.create ~psi n in
+      List.iter
+        (fun w ->
+          let la = w mod n in
+          (* the write lands through the current composed map, then may
+             re-key and rotate *)
+          Start_gap.write sg (Wolfram.physical wf la);
+          Wolfram.write wf la)
+        writes;
+      let seen = Array.make (Start_gap.num_physical sg) false in
+      let ok = ref true in
+      for la = 0 to n - 1 do
+        let pa = Start_gap.physical sg (Wolfram.physical wf la) in
+        if pa < 0 || pa > n || seen.(pa) then ok := false else seen.(pa) <- true
+      done;
+      !ok && not seen.(Start_gap.gap_line sg))
+
+(* property: adding the spare-line Remap on top keeps the full chain
+   injective and never routes a logical line into a retired physical
+   line — the composition the horizon model runs *)
+let wolfram_start_gap_remap_injective =
+  QCheck.Test.make ~count:100
+    ~name:"wolfram∘start-gap∘remap avoids retired lines, stays injective"
+    QCheck.(quad (int_range 2 9) small_int (list (int_range 0 10_000))
+              (int_range 0 3))
+    (fun (n, seed, writes, retire_k) ->
+      let wf = Wolfram.create ~period:11 ~seed n in
+      let sg = Start_gap.create ~psi:3 n in
+      let rm = Remap.create ~spares:4 ~lines:(Start_gap.num_physical sg) () in
+      List.iter
+        (fun w ->
+          let la = w mod n in
+          Start_gap.write sg (Wolfram.physical wf la);
+          Wolfram.write wf la)
+        writes;
+      let retired = List.init retire_k (fun i -> i) in
+      List.iter (fun l -> ignore (Remap.retire rm l)) retired;
+      let seen = Hashtbl.create 16 in
+      let ok = ref true in
+      for la = 0 to n - 1 do
+        let pa = Remap.physical rm (Start_gap.physical sg (Wolfram.physical wf la)) in
+        if Hashtbl.mem seen pa || List.mem pa retired then ok := false;
+        Hashtbl.replace seen pa ()
+      done;
+      !ok)
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -202,4 +319,12 @@ let () =
             test_start_gap_rotation_levels_hot_line;
           Alcotest.test_case "write conservation" `Quick test_start_gap_write_conservation;
           Alcotest.test_case "validation" `Quick test_start_gap_validation;
-          qc start_gap_bijective ] ) ]
+          qc start_gap_bijective ] );
+      ( "wolfram",
+        [ Alcotest.test_case "seeded permutation" `Quick test_wolfram_permutation;
+          Alcotest.test_case "re-key cadence" `Quick test_wolfram_rekey_cadence;
+          Alcotest.test_case "write accounting" `Quick test_wolfram_write_accounting;
+          Alcotest.test_case "re-keying levels a hot line" `Quick
+            test_wolfram_replay_levels_hot_line;
+          qc wolfram_start_gap_bijective;
+          qc wolfram_start_gap_remap_injective ] ) ]

@@ -9,9 +9,9 @@ module Hgram = Plim_telemetry.Histogram
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-(* a small, fast program mix: the first four small-suite circuits *)
-let specs4 = List.filteri (fun i _ -> i < 4) Suite.small_suite
-let mix4 = Workload.mix_of_suite specs4
+(* shared fixtures: the 4-circuit mix, quiet fleet config and runner *)
+let specs4 = Helpers.specs4
+let mix4 = Helpers.mix4
 
 (* --- workload generators --------------------------------------------- *)
 
@@ -129,18 +129,8 @@ let test_cache_digest_stability () =
 
 (* --- server ---------------------------------------------------------- *)
 
-let quiet_config =
-  { Server.default_config with Server.shards = 3; spare_shards = 1; seed = 5 }
-
-let run_server ?jobs cfg stream =
-  let server = Server.create cfg in
-  let responses =
-    match jobs with
-    | None -> Server.run server stream
-    | Some jobs ->
-      Plim_par.with_pool ~jobs (fun pool -> Server.run ~pool server stream)
-  in
-  (server, responses)
+let quiet_config = Helpers.quiet_config
+let run_server = Helpers.run_server
 
 let test_server_end_to_end () =
   let stream = Workload.generate ~seed:5 ~requests:120 mix4 in

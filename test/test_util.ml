@@ -278,6 +278,25 @@ let test_stats_quantile () =
   check_int "min" 1 (Stats.quantile 0.0 xs);
   check_int "max" 9 (Stats.quantile 1.0 xs)
 
+(* the nearest-rank rule documented in stats.mli: the q-quantile of n
+   samples is element ceil(q * n) - 1 of the sorted data, so p99 on
+   fewer than 100 samples is exactly the maximum — a tail witness, not
+   an interpolated estimate *)
+let test_stats_small_n_quantiles () =
+  let xs = Array.init 10 (fun i -> (i + 1) * 10) in
+  (* 10 samples: ceil(0.99 * 10) - 1 = 9, the last element *)
+  check_int "p99 of 10 samples is the max" 100 (Stats.quantile 0.99 xs);
+  check_int "summary agrees" 100 (Stats.summarize xs).Stats.p99;
+  check_int "p90 of 10 samples" 90 (Stats.quantile 0.9 xs);
+  (* any q beyond (n-1)/n collapses to the max *)
+  check_int "q just past the last rank" 100 (Stats.quantile 0.91 xs);
+  (* at n = 100 the p99 rank finally separates from the max *)
+  let big = Array.init 100 (fun i -> i + 1) in
+  check_int "p99 of 100 samples" 99 (Stats.quantile 0.99 big);
+  check_int "max of 100 samples" 100 (Stats.quantile 1.0 big);
+  check_int "p99 of 99 samples still the max" 99
+    (Stats.quantile 0.99 (Array.init 99 (fun i -> i + 1)))
+
 let test_stats_histogram () =
   let h = Stats.histogram ~bucket:10 [| 1; 5; 11; 12; 25 |] in
   Alcotest.(check (list (pair int int))) "buckets" [ (0, 2); (10, 2); (20, 1) ] h
@@ -354,6 +373,8 @@ let () =
           Alcotest.test_case "mean_list" `Quick test_stats_mean_list;
           Alcotest.test_case "improvement" `Quick test_stats_improvement;
           Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "small-n nearest-rank quantiles" `Quick
+            test_stats_small_n_quantiles;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "gini" `Quick test_stats_gini;
           qc stdev_nonneg ] );
