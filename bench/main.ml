@@ -29,6 +29,7 @@ module Campaign = Plim_machine.Campaign
 module Par = Plim_par
 module Wear = Plim_telemetry.Wear
 module Hgram = Plim_telemetry.Histogram
+module Geometry = Plim_geometry
 
 let caps = [ 10; 20; 50; 100 ]
 
@@ -588,11 +589,12 @@ let faulttol () =
                 d.Campaign.final_capacity d.Campaign.correct d.Campaign.executions;
               faulttol_rows :=
                 Printf.sprintf
-                  "{\"benchmark\":\"%s\",\"rate\":%g,\"spares\":%d,\"injected\":%d,\
+                  "{\"benchmark\":%s,\"rate\":%g,\"spares\":%d,\"injected\":%d,\
                    \"detections\":%d,\"remaps\":%d,\"verify_reads\":%d,\"retries\":%d,\
                    \"executions\":%d,\"correct\":%d,\"incorrect\":%d,\"capacity\":%.6g,\
                    \"spares_remaining\":%d,\"survived\":%b}"
-                  name rate spares d.Campaign.injected d.Campaign.detections
+                  (Plim_util.Jsonx.quote name)
+                  rate spares d.Campaign.injected d.Campaign.detections
                   d.Campaign.remaps d.Campaign.verify_reads d.Campaign.retries
                   d.Campaign.executions d.Campaign.correct d.Campaign.incorrect
                   d.Campaign.final_capacity d.Campaign.spares_remaining
@@ -849,6 +851,88 @@ let horizon () =
   horizon_rows := List.map (fun (_, _, r) -> H.row_json r) cells
 
 (* ------------------------------------------------------------------ *)
+(* Geometry: the area/latency trade-off curve of the crossbar-geometry
+   backend.  Each suite benchmark is compiled once (endurance-full) and
+   its instruction stream scheduled on grids of widening column count;
+   latency is the number of row-parallel instruction groups, area the
+   rows*cols device bound.  Every number is a pure function of the
+   program and grid, so the rows are part of the -j1 == -j4
+   byte-identity gate. *)
+
+let geometry_rows : string list ref = ref []
+
+let geometry_cols = [ 1; 4; 16; 64 ]
+
+let geometry () =
+  Printf.printf
+    "\nGEOMETRY — area/latency trade-off of row-parallel scheduling\n";
+  Printf.printf
+    "(endurance-full programs placed row-major on ROWSxCOLS grids; each cycle\n\
+    \ fires every ready instruction whose cells share one row, so group count\n\
+    \ falls as columns widen while area tracks the grid bound; cols=1 is the\n\
+    \ serial flat-controller baseline)\n";
+  Printf.printf "%-12s %5s %10s %6s %7s %7s %10s %9s %8s\n" "benchmark" "cols"
+    "grid" "area" "instrs" "groups" "cross-row" "max-group" "speedup";
+  List.iter
+    (fun spec ->
+      let g = Suite.build_cached spec in
+      let p = (Pipeline.compile Pipeline.endurance_full g).Pipeline.program in
+      let n_instr = Program.length p in
+      let n_cells = Program.num_cells p in
+      List.iter
+        (fun cols ->
+          let grid = Geometry.grid_for ~cols ~num_cells:n_cells in
+          let gname = Geometry.to_string grid in
+          let sched =
+            match Geometry.schedule grid p with
+            | Ok s -> s
+            | Error e ->
+              Printf.eprintf "geometry: %s @%s: %s\n" spec.Suite.name gname e;
+              exit 1
+          in
+          (match Geometry.validate p sched with
+          | Ok () -> ()
+          | Error e ->
+            Printf.eprintf "geometry: %s @%s: invalid schedule: %s\n"
+              spec.Suite.name gname e;
+            exit 1);
+          let groups = Geometry.num_groups sched in
+          (* self-checks: row parallelism can only shorten the schedule,
+             and a single-column grid must degenerate to the serial
+             instruction stream *)
+          if groups > n_instr then begin
+            Printf.eprintf "geometry: %s @%s: %d groups > %d instructions\n"
+              spec.Suite.name gname groups n_instr;
+            exit 1
+          end;
+          if cols = 1 && groups <> n_instr then begin
+            Printf.eprintf
+              "geometry: %s @1 column: %d groups for %d instructions\n"
+              spec.Suite.name groups n_instr;
+            exit 1
+          end;
+          Printf.printf "%-12s %5d %10s %6d %7d %7d %10d %9d %7.2fx\n"
+            spec.Suite.name cols gname (Geometry.area grid) n_instr groups
+            sched.Geometry.s_cross_row
+            (Geometry.max_group_size sched)
+            (float_of_int n_instr /. float_of_int (max 1 groups));
+          geometry_rows :=
+            Printf.sprintf
+              "{\"benchmark\":%s,\"config\":\"endurance-full\",\"grid\":%s,\
+               \"rows\":%d,\"cols\":%d,\"area\":%d,\"instructions\":%d,\
+               \"groups\":%d,\"cross_row\":%d,\"max_group\":%d}"
+              (Plim_util.Jsonx.quote spec.Suite.name)
+              (Plim_util.Jsonx.quote gname) grid.Geometry.rows grid.Geometry.cols
+              (Geometry.area grid) n_instr groups sched.Geometry.s_cross_row
+              (Geometry.max_group_size sched)
+            :: !geometry_rows)
+        geometry_cols)
+    !suite;
+  Printf.printf
+    "(groups <= instructions on every grid; cols=1 reproduces the serial\n\
+    \ instruction count exactly)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Machine-level verification of the compiled artefacts. *)
 
 let verify () =
@@ -1021,7 +1105,7 @@ let buf_result b ?cap ~config (res : Pipeline.result) =
          a.Plim_analyze.diagnostics)
   in
   let counts = Program.static_write_counts p in
-  bprintf b "{\"config\":\"%s\"" config;
+  bprintf b "{\"config\":%s" (Plim_util.Jsonx.quote config);
   (match cap with Some c -> bprintf b ",\"cap\":%d" c | None -> ());
   bprintf b
     ",\"instructions\":%d,\"rram_cells\":%d,\"writes\":{\"min\":%d,\"max\":%d,\"total\":%d,\"mean\":%.6g,\"stdev\":%.6g,\"p50\":%d,\"p90\":%d,\"p99\":%d}"
@@ -1052,7 +1136,8 @@ let write_results_json results path =
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
-      bprintf b "{\"name\":\"%s\",\"pi\":%d,\"po\":%d,\"configs\":[" r.spec.Suite.name
+      bprintf b "{\"name\":%s,\"pi\":%d,\"po\":%d,\"configs\":["
+        (Plim_util.Jsonx.quote r.spec.Suite.name)
         r.spec.Suite.pi r.spec.Suite.po;
       List.iteri
         (fun j (config, res) ->
@@ -1072,7 +1157,9 @@ let write_results_json results path =
   List.iteri
     (fun i (name, (calls, total)) ->
       if i > 0 then Buffer.add_char b ',';
-      bprintf b "\n{\"name\":\"%s\",\"calls\":%d,\"total_s\":%.6f}" name calls
+      bprintf b "\n{\"name\":%s,\"calls\":%d,\"total_s\":%.6f}"
+        (Plim_util.Jsonx.quote name)
+        calls
         (if !deterministic then 0.0 else total))
     (Profile.totals ());
   Buffer.add_string b "\n],\"faulttol\":[";
@@ -1103,6 +1190,13 @@ let write_results_json results path =
       Buffer.add_char b '\n';
       Buffer.add_string b row)
     !horizon_rows;
+  Buffer.add_string b "\n],\"geometry\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b row)
+    (List.rev !geometry_rows);
   Buffer.add_string b "\n]}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -1114,7 +1208,8 @@ let usage () =
     "usage: main.exe [PHASE...] [-j N] [--suite small|all] [--deterministic]\n\
     \                [--results PATH]\n\
      phases: table1 table2 table3 summary csv ablations section2 wearlevel\n\
-    \        lifetime histogram verify faulttol wear serve horizon perf all\n\
+    \        lifetime histogram verify faulttol wear serve horizon geometry\n\
+    \        perf all\n\
      -j N            run fan-out phases on N domains (default: domain count);\n\
     \                -j 1 is byte-identical to the sequential program\n\
      --suite small   restrict tables to the small benchmark suite\n\
@@ -1176,7 +1271,10 @@ let () =
   if want_serve then serve ();
   let want_horizon = List.mem "horizon" args || List.mem "all" args in
   if want_horizon then horizon ();
+  let want_geometry = List.mem "geometry" args || List.mem "all" args in
+  if want_geometry then geometry ();
   if results <> [] || want_faulttol || want_wear || want_serve || want_horizon
+     || want_geometry
   then write_results_json results !results_path;
   if List.mem "csv" args || List.mem "all" args then export_csv results "bench_csv";
   if want "table1" then table1 results;

@@ -23,6 +23,7 @@ module Trace = Plim_obs.Trace
 module Profile = Plim_obs.Profile
 module Report = Plim_telemetry.Report
 module Wear = Plim_telemetry.Wear
+module Geometry = Plim_geometry
 
 open Cmdliner
 
@@ -108,6 +109,39 @@ let cap_arg =
   let doc = "Maximum write count strategy: cap per-device writes at $(docv) (>= 3)." in
   Arg.(value & opt (some int) None & info [ "cap" ] ~docv:"N" ~doc)
 
+let geometry_conv =
+  Arg.conv
+    ( (fun s ->
+        match Geometry.of_string s with
+        | Ok g -> Ok g
+        | Error msg -> Error (`Msg msg)),
+      fun ppf g -> Format.pp_print_string ppf (Geometry.to_string g) )
+
+let geometry_arg =
+  Arg.(value & opt (some geometry_conv) None
+       & info [ "geometry" ] ~docv:"ROWSxCOLS"
+           ~doc:"Crossbar geometry: place cells row-major on a bounded \
+                 $(docv) grid and schedule independent same-row RM3 \
+                 instructions into parallel groups.  Reports latency in \
+                 groups alongside the flat cycle count; fails if the \
+                 program's footprint exceeds the grid area.")
+
+(* Group-latency report of a compiled program under [--geometry]; exits 1
+   when the program does not fit the grid.  Shared by compile/stats. *)
+let geometry_report ~source g p =
+  match Geometry.schedule g p with
+  | Error msg ->
+    Printf.eprintf "plimc: %s: %s\n" source msg;
+    exit 1
+  | Ok sched ->
+    (match Geometry.validate p sched with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "plimc: %s: internal geometry invariant violated: %s\n"
+        source msg;
+      exit 1);
+    sched
+
 let rewriting_arg =
   let cenum =
     Arg.enum
@@ -176,8 +210,8 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
 
-let compile_run source config cap effort rewriting selection allocation output dot verify
-    trace metrics profile =
+let compile_run source config cap effort rewriting selection allocation geometry
+    output dot verify trace metrics profile =
   with_obs ~trace ~metrics ~profile @@ fun () ->
   let config = override config rewriting selection allocation in
   let config = { config with Pipeline.effort } in
@@ -188,6 +222,16 @@ let compile_run source config cap effort rewriting selection allocation output d
   Printf.eprintf "%s: %s: %d instructions, %d devices, %s\n%!" source
     (Pipeline.config_name config) (Program.length p) (Program.num_cells p)
     (Format.asprintf "%a" Stats.pp_summary result.Pipeline.write_summary);
+  (match geometry with
+  | None -> ()
+  | Some grid ->
+    let sched = geometry_report ~source grid p in
+    Printf.eprintf
+      "%s: geometry %s: %d groups (vs %d instructions), %d cross-row, widest \
+       group %d\n%!"
+      source (Geometry.to_string grid) (Geometry.num_groups sched)
+      (Program.length p) sched.Geometry.s_cross_row
+      (Geometry.max_group_size sched));
   (match dot with
   | Some path ->
     let oc = open_out path in
@@ -201,6 +245,25 @@ let compile_run source config cap effort rewriting selection allocation output d
      | Error e ->
        Printf.eprintf "verification FAILED: %s\n%!" e;
        exit 1);
+  (* geometry cross-check: the grouped execution must agree with the flat
+     backend on every output (the byte-identity contract) *)
+  (if verify then
+     match geometry with
+     | None -> ()
+     | Some grid ->
+       let inputs =
+         Array.to_list (Array.map (fun (n, _) -> (n, false)) p.Program.pi_cells)
+       in
+       let flat, _, _ = Controller.run p ~inputs in
+       (match Controller.run_grouped ~geometry:grid p ~inputs with
+       | Ok (grouped, _, _) when grouped = flat ->
+         Printf.eprintf "geometry cross-check: ok (grouped = flat)\n%!"
+       | Ok _ ->
+         Printf.eprintf "geometry cross-check FAILED: outputs differ\n%!";
+         exit 1
+       | Error e ->
+         Printf.eprintf "geometry cross-check FAILED: %s\n%!" e;
+         exit 1));
   match output with
   | Some path ->
     Asm.write_file path p;
@@ -224,11 +287,11 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a benchmark, .mig or .blif file to PLiM assembly.")
     Term.(
       const compile_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
-      $ selection_arg $ allocation_arg $ output $ dot $ verify $ trace_arg $ metrics_arg
-      $ profile_flag_arg)
+      $ selection_arg $ allocation_arg $ geometry_arg $ output $ dot $ verify
+      $ trace_arg $ metrics_arg $ profile_flag_arg)
 
-let stats_run source config cap effort rewriting selection allocation endurance trace
-    metrics profile =
+let stats_run source config cap effort rewriting selection allocation geometry
+    endurance trace metrics profile =
   with_obs ~trace ~metrics ~profile @@ fun () ->
   let config = override config rewriting selection allocation in
   let config = { config with Pipeline.effort } in
@@ -243,6 +306,16 @@ let stats_run source config cap effort rewriting selection allocation endurance 
     (Mig.depth result.Pipeline.rewritten);
   Printf.printf "#I            : %d RM3 instructions\n" (Program.length p);
   Printf.printf "#R            : %d RRAM devices\n" (Program.num_cells p);
+  (match geometry with
+  | None -> ()
+  | Some grid ->
+    let sched = geometry_report ~source grid p in
+    Printf.printf
+      "geometry      : %s grid (area %d), %d groups, %d cross-row, widest group \
+       %d\n"
+      (Geometry.to_string grid) (Geometry.area grid) (Geometry.num_groups sched)
+      sched.Geometry.s_cross_row
+      (Geometry.max_group_size sched));
   Printf.printf
     "writes        : min %d / max %d / mean %.2f / stdev %.2f / p50 %d / p90 %d / \
      p99 %d\n"
@@ -279,8 +352,8 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Compile and report write-traffic statistics and lifetime.")
     Term.(
       const stats_run $ source_arg $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
-      $ selection_arg $ allocation_arg $ endurance $ trace_arg $ metrics_arg
-      $ profile_flag_arg)
+      $ selection_arg $ allocation_arg $ geometry_arg $ endurance $ trace_arg
+      $ metrics_arg $ profile_flag_arg)
 
 let exec_run path inputs =
   let p = Asm.read_file path in
@@ -457,10 +530,10 @@ let faults_run source config cap effort rewriting selection allocation inject sp
   | Some path ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\"schema\":\"plim-wear/v1\",\"source\":%S,\"config\":%S,\"executions\":%d,\
+      "{\"schema\":\"plim-wear/v1\",\"source\":%s,\"config\":%s,\"executions\":%d,\
        \"trajectory\":%s,\"heatmap\":%s}\n"
-      source
-      (Pipeline.config_name config)
+      (Plim_util.Jsonx.quote source)
+      (Plim_util.Jsonx.quote (Pipeline.config_name config))
       d.Campaign.executions
       (Campaign.trajectory_json d.Campaign.trajectory)
       (Wear.heatmap_json ~label:source d.Campaign.final_wear);
@@ -666,8 +739,8 @@ let fuzz_cmd =
 (* lint: static dataflow analysis — def-use chains, liveness, endurance
    hygiene — of compiled benchmarks or on-disk .plim assembly. *)
 
-let lint_run sources config cap effort rewriting selection allocation max_writes json
-    jobs trace metrics profile =
+let lint_run sources config cap effort rewriting selection allocation geometry
+    max_writes json jobs trace metrics profile =
   with_obs ~trace ~metrics ~profile @@ fun () ->
   if sources = [] then begin
     Printf.eprintf "plimc lint: no sources given\n";
@@ -726,6 +799,29 @@ let lint_run sources config cap effort rewriting selection allocation max_writes
   List.iter
     (fun (_, _, a) -> error_total := !error_total + List.length (Analyze.errors a))
     results;
+  (* --geometry: every program must fit the grid and its row-parallel
+     schedule must satisfy the full invariant set (coverage, hazard
+     order, single-row groups, groups <= instructions) *)
+  (match geometry with
+  | None -> ()
+  | Some grid ->
+    List.iter
+      (fun (source, p, _) ->
+        match Geometry.schedule grid p with
+        | Error msg ->
+          Printf.eprintf "%s: geometry: %s\n" source msg;
+          incr error_total
+        | Ok sched -> (
+          match Geometry.validate p sched with
+          | Ok () ->
+            if not json then
+              Printf.printf "%s: geometry %s: %d groups, %d cross-row: ok\n"
+                source (Geometry.to_string grid) (Geometry.num_groups sched)
+                sched.Geometry.s_cross_row
+          | Error msg ->
+            Printf.eprintf "%s: geometry invariant: %s\n" source msg;
+            incr error_total))
+      results);
   if !error_total > 0 then exit 1
 
 let lint_cmd =
@@ -767,8 +863,8 @@ let lint_cmd =
                usage errors." ])
     Term.(
       const lint_run $ sources $ config_arg $ cap_arg $ effort_arg $ rewriting_arg
-      $ selection_arg $ allocation_arg $ max_writes $ json $ jobs $ trace_arg
-      $ metrics_arg $ profile_flag_arg)
+      $ selection_arg $ allocation_arg $ geometry_arg $ max_writes $ json $ jobs
+      $ trace_arg $ metrics_arg $ profile_flag_arg)
 
 let report_run current against threshold min_abs json verbose =
   match
@@ -837,8 +933,8 @@ let report_cmd =
 
 let serve_run sources requests seed shards spare_shards cell_spares lines batch
     zipf hot hot_pool compile_ratio config cap effort rewriting selection
-    allocation inject endurance no_verify no_check retire jobs wear_json json
-    trace metrics profile =
+    allocation geometry inject endurance no_verify no_check retire jobs wear_json
+    json trace metrics profile =
   with_obs ~trace ~metrics ~profile @@ fun () ->
   let config = override config rewriting selection allocation in
   let config = { config with Pipeline.effort } in
@@ -872,7 +968,8 @@ let serve_run sources requests seed shards spare_shards cell_spares lines batch
       fault_spec = inject;
       endurance;
       check = not no_check;
-      seed }
+      seed;
+      geometry }
   in
   let server = Plim_serve.Server.create scfg in
   let t0 = Unix.gettimeofday () in
@@ -927,6 +1024,17 @@ let serve_run sources requests seed shards spare_shards cell_spares lines batch
       (Plim_telemetry.Histogram.p90 lat)
       (Plim_telemetry.Histogram.p99 lat)
       s.Plim_serve.Server.total_cycles;
+    (match geometry with
+    | None -> ()
+    | Some grid ->
+      let gl = Plim_serve.Server.group_latency server in
+      Printf.printf
+        "geometry      : %s grid, groups p50 %d / p90 %d / p99 %d (total %d)\n"
+        (Geometry.to_string grid)
+        (Plim_telemetry.Histogram.p50 gl)
+        (Plim_telemetry.Histogram.p90 gl)
+        (Plim_telemetry.Histogram.p99 gl)
+        s.Plim_serve.Server.total_groups);
     Printf.printf "fleet         : %d retired, %d spares activated, wear gini %.4f, \
                    max/mean %.2f\n"
       s.Plim_serve.Server.retired_shards s.Plim_serve.Server.spare_activations
@@ -1061,8 +1169,9 @@ let serve_cmd =
       const serve_run $ sources $ requests $ seed $ shards $ spare_shards
       $ cell_spares $ lines $ batch $ zipf $ hot $ hot_pool $ compile_ratio
       $ config_arg $ cap_arg $ effort_arg $ rewriting_arg $ selection_arg
-      $ allocation_arg $ inject $ endurance $ no_verify $ no_check $ retire
-      $ jobs $ wear_json $ json $ trace_arg $ metrics_arg $ profile_flag_arg)
+      $ allocation_arg $ geometry_arg $ inject $ endurance $ no_verify $ no_check
+      $ retire $ jobs $ wear_json $ json $ trace_arg $ metrics_arg
+      $ profile_flag_arg)
 
 let horizon_run sources strategies rates endurance epoch_requests sample_every
     max_epochs capacity_floor psi rekey_period model_spares epoch_seconds

@@ -347,19 +347,7 @@ let errors a = List.filter (fun d -> d.severity = Error) a.diagnostics
 
 (* --- JSON -------------------------------------------------------------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Plim_util.Jsonx.escape
 
 let to_json ?(source = "") (p : Program.t) a =
   let b = Buffer.create 4096 in

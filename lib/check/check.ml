@@ -7,6 +7,8 @@ module Program = Plim_isa.Program
 module I = Plim_isa.Instruction
 module Fault_model = Plim_fault.Fault_model
 module Metrics = Plim_obs.Metrics
+module Controller = Plim_machine.Plim_controller
+module Geometry = Plim_geometry
 
 type failure = {
   config : string;
@@ -148,6 +150,85 @@ let output_map_check name g program acc =
       (String.concat ";" (Array.to_list got))
     :: acc
 
+let geometry_grids program =
+  (* One serial grid (cols = 1, must degenerate to one group per
+     instruction), one narrow grid and one near-square grid: enough to
+     exercise forced-singleton cross-row scheduling and wide rows. *)
+  let n = Program.num_cells program in
+  let rec square c = if c * c >= n then c else square (c + 1) in
+  List.sort_uniq compare [ 1; 4; square 1 ]
+  |> List.map (fun cols -> Geometry.grid_for ~cols ~num_cells:n)
+
+let geometry_check name program acc =
+  (* The geometry backend is a second compilation target for the same
+     instruction stream: its row-parallel schedule must be a valid
+     hazard-respecting permutation cover, never slower than serial, and
+     functionally indistinguishable from the flat controller. *)
+  let n_instr = Program.length program in
+  let check_grid acc grid =
+    let gname = Geometry.to_string grid in
+    match Geometry.schedule grid program with
+    | Error e -> fail name "geometry" "[%s] schedule: %s" gname e :: acc
+    | Ok sched ->
+      let acc =
+        match Geometry.validate program sched with
+        | Ok () -> acc
+        | Error e ->
+          fail name "geometry" "[%s] invalid schedule: %s" gname e :: acc
+      in
+      let groups = Geometry.num_groups sched in
+      let acc =
+        if groups > n_instr then
+          fail name "geometry" "[%s] %d groups exceed %d instructions" gname
+            groups n_instr
+          :: acc
+        else acc
+      in
+      let acc =
+        if grid.Geometry.cols = 1 && groups <> n_instr then
+          fail name "geometry"
+            "[%s] single-column grid must run serially: %d groups for %d \
+             instructions"
+            gname groups n_instr
+          :: acc
+        else acc
+      in
+      let rng = Plim_util.Splitmix.create 0x9E0 in
+      let pis = program.Program.pi_cells in
+      let rec trials k acc =
+        if k = 0 then acc
+        else
+          let inputs =
+            Array.to_list
+              (Array.map (fun (nm, _) -> (nm, Plim_util.Splitmix.bool rng)) pis)
+          in
+          let flat, _, fstats = Controller.run program ~inputs in
+          match Controller.run_grouped ~geometry:grid program ~inputs with
+          | Error e ->
+            fail name "geometry" "[%s] run_grouped: %s" gname e :: acc
+          | Ok (grouped, _, gstats) ->
+            let acc =
+              if flat <> grouped then
+                fail name "geometry"
+                  "[%s] grouped execution diverges from the flat controller"
+                  gname
+                :: acc
+              else acc
+            in
+            let acc =
+              if gstats.Controller.g_cycles <> fstats.Controller.cycles then
+                fail name "geometry"
+                  "[%s] cycle accounting diverges: grouped %d, flat %d" gname
+                  gstats.Controller.g_cycles fstats.Controller.cycles
+                :: acc
+              else acc
+            in
+            trials (k - 1) acc
+      in
+      trials 4 acc
+  in
+  List.fold_left check_grid acc (geometry_grids program)
+
 let check_config ?fault_spec config g =
   Metrics.incr m_checks;
   let name =
@@ -168,6 +249,7 @@ let check_config ?fault_spec config g =
     let acc = lint_check name config program acc in
     let acc = rewrite_function_check name g result acc in
     let acc = output_map_check name g program acc in
+    let acc = geometry_check name program acc in
     let acc =
       match fault_spec with
       | Some spec -> fault_avoidance_check name spec program acc

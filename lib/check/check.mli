@@ -22,6 +22,12 @@
       tables as the source;
     - {b fault-avoidance}: with fault-aware allocation the program never
       reads or writes a device the fault map marks bad;
+    - {b geometry}: on a serial, a narrow and a near-square crossbar grid
+      the row-parallel schedule ({!Plim_geometry}) validates, never takes
+      more groups than instructions, degenerates to one group per
+      instruction when [cols = 1], and grouped execution
+      ({!Plim_machine.Plim_controller.run_grouped}) produces outputs and
+      cycle counts identical to the flat controller on random vectors;
     - {b selection-differential}: the incremental lazy-heap node selector
       ({!Plim_core.Select}) pops exactly the sequence an independent
       naive reference selector (linear argmin over live candidate keys)

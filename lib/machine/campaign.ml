@@ -27,7 +27,19 @@ type outcome = {
   failed : bool;
   write_total : int;
   trajectory : wear_sample list;
+  group_latency : int option;
 }
+
+(* Latency of one execution in row-parallel groups under the requested
+   crossbar geometry; None without one.  A grid too small for the
+   program is a configuration error, not a measurement. *)
+let group_latency_of geometry p =
+  match geometry with
+  | None -> None
+  | Some g -> (
+    match Plim_geometry.schedule g p with
+    | Ok sched -> Some (Plim_geometry.num_groups sched)
+    | Error msg -> invalid_arg ("Campaign: " ^ msg))
 
 (* Wear-trajectory sampling shared by the campaign flavours: a crossbar
    observer supplies the physical-write clock, and skew snapshots taken
@@ -116,10 +128,11 @@ let execute_mapped (p : Program.t) xbar rng ~map ~on_write =
 
 let total_writes xbar = Array.fold_left ( + ) 0 (Crossbar.write_counts xbar)
 
-let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ?sample_every ~physical_cells
-    ~map ~on_write ~endurance p =
+let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ?sample_every ?geometry
+    ~physical_cells ~map ~on_write ~endurance p =
   Obs.span "campaign" @@ fun () ->
   Metrics.incr m_campaigns;
+  let group_latency = group_latency_of geometry p in
   let xbar = Crossbar.create ~endurance physical_cells in
   let sm =
     make_sampler ~sample_every ~max_executions ~counts:(fun () ->
@@ -133,7 +146,8 @@ let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ?sample_every ~physica
     { executions_completed = completed;
       failed;
       write_total = total_writes xbar;
-      trajectory = finish_trajectory sm completed }
+      trajectory = finish_trajectory sm completed;
+      group_latency }
   in
   let rec go completed =
     if completed >= max_executions then finish completed false
@@ -148,8 +162,9 @@ let campaign ?(seed = 0xCAFE) ?(max_executions = 100_000) ?sample_every ~physica
   in
   go 0
 
-let run_until_failure ?seed ?max_executions ?sample_every ~endurance p =
-  campaign ?seed ?max_executions ?sample_every ~physical_cells:p.Program.num_cells
+let run_until_failure ?seed ?max_executions ?sample_every ?geometry ~endurance p =
+  campaign ?seed ?max_executions ?sample_every ?geometry
+    ~physical_cells:p.Program.num_cells
     ~map:(fun _ cell -> cell)
     ~on_write:(fun _ _ -> ())
     ~endurance p

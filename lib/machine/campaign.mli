@@ -37,12 +37,18 @@ type outcome = {
   trajectory : wear_sample list;
       (** chronological wear-skew curve; first point at execution 0,
           last point at campaign end *)
+  group_latency : int option;
+      (** latency of one execution in row-parallel instruction groups
+          under the campaign's crossbar geometry
+          ({!Plim_controller.static_groups}); [None] without a
+          [?geometry] argument *)
 }
 
 val run_until_failure :
   ?seed:int ->
   ?max_executions:int ->
   ?sample_every:int ->
+  ?geometry:Plim_geometry.grid ->
   endurance:int ->
   Program.t ->
   outcome

@@ -78,6 +78,93 @@ let run ?endurance ?on_step (p : Program.t) ~inputs =
   in
   (outputs, xbar, { instructions = Array.length p.Program.instrs; cycles = !cycles })
 
+(* ------------------------------------------------------------------ *)
+(* Geometry backend: execute a row-parallel schedule (Plim_geometry)
+   group by group.  Within a group every member's operands and
+   destination state are read BEFORE any member's write lands — the
+   semantics of simultaneously firing several write drivers in one row.
+   Group members are mutually hazard-free by construction, so the
+   outputs are identical to [run]; only the latency accounting changes:
+   one group costs one array step regardless of its width. *)
+
+type grouped_stats = {
+  g_instructions : int;
+  g_groups : int;        (* latency in row-parallel groups *)
+  g_cycles : int;        (* flat cycle count, for comparison *)
+  g_cross_row : int;     (* forced-singleton cross-row instructions *)
+  g_max_group : int;
+}
+
+let static_groups ~geometry (p : Program.t) =
+  Result.map Plim_geometry.num_groups (Plim_geometry.schedule geometry p)
+
+let run_grouped ?endurance ~geometry (p : Program.t) ~inputs =
+  Obs.span "machine.run_grouped" @@ fun () ->
+  match Plim_geometry.schedule geometry p with
+  | Error msg -> Error msg
+  | Ok sched ->
+    Metrics.incr m_runs;
+    Metrics.incr ~by:(Array.length p.Program.instrs) m_instructions;
+    let xbar = Crossbar.create ?endurance p.Program.num_cells in
+    let bound = Hashtbl.create 16 in
+    List.iter
+      (fun (name, v) ->
+        if Hashtbl.mem bound name then
+          invalid_arg
+            (Printf.sprintf "Plim_controller.run_grouped: duplicate input %S" name);
+        Hashtbl.add bound name v)
+      inputs;
+    Array.iter
+      (fun (name, cell) ->
+        match Hashtbl.find_opt bound name with
+        | Some v ->
+          Crossbar.load xbar cell v;
+          Hashtbl.remove bound name
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Plim_controller.run_grouped: missing input %S" name))
+      p.Program.pi_cells;
+    if Hashtbl.length bound > 0 then
+      invalid_arg "Plim_controller.run_grouped: unknown extra inputs";
+    let cycles = ref 0 in
+    let read_operand = function
+      | Instruction.Const v -> v
+      | Instruction.Cell i ->
+        incr cycles;
+        Crossbar.read xbar i
+    in
+    Array.iter
+      (fun group ->
+        (* read phase: capture every member's operand and destination
+           state before any write of the group lands *)
+        let writes =
+          Array.map
+            (fun i ->
+              let instr = p.Program.instrs.(i) in
+              let a = read_operand instr.Instruction.a in
+              let b = read_operand instr.Instruction.b in
+              incr cycles;
+              (instr.Instruction.z, a, b))
+            group
+        in
+        (* write phase: fire the group's RM3s *)
+        Array.iter (fun (z, a, b) -> Crossbar.rm3 xbar ~p:a ~q:b z) writes)
+      sched.Plim_geometry.s_groups;
+    let outputs =
+      Array.to_list
+        (Array.map
+           (fun (name, cell) -> (name, Crossbar.read xbar cell))
+           p.Program.po_cells)
+    in
+    Ok
+      ( outputs,
+        xbar,
+        { g_instructions = Array.length p.Program.instrs;
+          g_groups = Plim_geometry.num_groups sched;
+          g_cycles = !cycles;
+          g_cross_row = sched.Plim_geometry.s_cross_row;
+          g_max_group = Plim_geometry.max_group_size sched } )
+
 let run_self_hosted ?endurance (p : Program.t) ~inputs =
   Obs.span "machine.run_self_hosted" @@ fun () ->
   Metrics.incr m_runs;

@@ -51,6 +51,40 @@ val run :
     @raise Crossbar.Cell_failed if a cell hard-fails mid-run (only with
     [endurance]). *)
 
+type grouped_stats = {
+  g_instructions : int;  (** instructions executed *)
+  g_groups : int;        (** latency in row-parallel groups *)
+  g_cycles : int;        (** flat memory-access cycles, for comparison:
+                             equals {!static_cycles} *)
+  g_cross_row : int;     (** instructions whose cells span rows (forced
+                             singleton groups) *)
+  g_max_group : int;     (** widest group fired *)
+}
+
+val static_groups :
+  geometry:Plim_geometry.grid -> Program.t -> (int, string) result
+(** Latency of one execution under the geometry backend, in row-parallel
+    instruction groups — a pure function of the program and grid.
+    Always [<= Program.length p]; equal to it when [cols = 1].  [Error]
+    if the program does not fit the grid ({!Plim_geometry.schedule}). *)
+
+val run_grouped :
+  ?endurance:int ->
+  geometry:Plim_geometry.grid ->
+  Program.t ->
+  inputs:(string * bool) list ->
+  ((string * bool) list * Crossbar.t * grouped_stats, string) result
+(** Execute the program through its row-parallel schedule
+    ({!Plim_geometry.schedule}): each group reads all member operands
+    before any member's RM3 fires, modelling simultaneous write drivers
+    in one crossbar row.  Group members are mutually hazard-free by
+    construction, so outputs (and per-cell wear) are identical to
+    {!run}; only the latency metric changes.  [Error] if the program
+    does not fit the grid.
+
+    @raise Invalid_argument if [inputs] does not bind exactly the
+    program's primary inputs. *)
+
 val run_vector :
   ?endurance:int -> Program.t -> bool array -> bool array
 (** Positional convenience wrapper: inputs/outputs in [pi_cells]/[po_cells]

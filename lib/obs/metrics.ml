@@ -114,10 +114,11 @@ let to_json () =
   List.iteri
     (fun i (name, v) ->
       if i > 0 then Buffer.add_char b ',';
+      let key = Plim_util.Jsonx.quote name in
       match v with
-      | Counter c -> Printf.bprintf b "%S:%d" name c
-      | Gauge g -> Printf.bprintf b "%S:%.6g" name g
-      | Hist h -> Printf.bprintf b "%S:%s" name (Hgram.to_json h))
+      | Counter c -> Printf.bprintf b "%s:%d" key c
+      | Gauge g -> Printf.bprintf b "%s:%.6g" key g
+      | Hist h -> Printf.bprintf b "%s:%s" key (Hgram.to_json h))
     entries;
   Buffer.add_string b "}}";
   Buffer.contents b

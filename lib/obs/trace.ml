@@ -20,18 +20,7 @@ let sink () = !current
 
 let enabled () = match !current with Null -> false | _ -> true
 
-let json_escape b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
+let json_escape = Plim_util.Jsonx.escape_into
 
 let add_json_float b f =
   (* JSON has no nan/inf; %.17g round-trips every other float *)

@@ -479,18 +479,18 @@ let row_json ?label:lbl r =
   in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"schema\":\"plim-horizon/v1\",\"label\":%S,\"strategy\":%S,\
-        \"fault_rate\":%.6g,\"endurance\":%.6g,\"epochs\":%.6g,\"stop\":%S,\
+       "{\"schema\":\"plim-horizon/v1\",\"label\":%s,\"strategy\":%s,\
+        \"fault_rate\":%.6g,\"endurance\":%.6g,\"epochs\":%.6g,\"stop\":%s,\
         \"ttff_epochs\":%.6g,\"ttff_years\":%.6g,\"half_life_epochs\":%.6g,\
         \"half_life_years\":%.6g,\"proj_ttff_years\":%.6g,\
         \"proj_half_life_years\":%.6g,\"final_capacity\":%.6g,\
         \"capacity_loss\":%.6g,\"dead_shards\":%d,\"alive_shards\":%d,\
         \"sampled_epochs\":%d,\"total_writes\":%.6g,\"skew\":%s,\
         \"trajectory\":["
-       lbl
-       (strategy_name r.r_strategy)
+       (Plim_util.Jsonx.quote lbl)
+       (Plim_util.Jsonx.quote (strategy_name r.r_strategy))
        r.r_fault_rate r.r_endurance r.r_epochs
-       (stop_reason_name r.r_stop)
+       (Plim_util.Jsonx.quote (stop_reason_name r.r_stop))
        (opt_epochs r.r_ttff) (opt_years r.r_ttff)
        (opt_epochs r.r_half_life) (opt_years r.r_half_life)
        (proj r.r_ttff) (proj r.r_half_life)

@@ -20,6 +20,7 @@ type config = {
   endurance : int option;
   check : bool;
   seed : int;
+  geometry : Plim_geometry.grid option;
 }
 
 let default_config =
@@ -32,7 +33,8 @@ let default_config =
     fault_spec = Fault_model.none;
     endurance = None;
     check = true;
-    seed = 1 }
+    seed = 1;
+    geometry = None }
 
 type response =
   | Compiled of { digest : string; cached : bool }
@@ -57,6 +59,7 @@ type summary = {
   retired_shards : int;
   spare_activations : int;
   total_cycles : int;
+  total_groups : int;
   exec_stats : Exec.stats;
 }
 
@@ -65,6 +68,11 @@ type t = {
   cache : Cache.t;
   mutable fleet : Shard.t array;  (* [||] until the first execution batch *)
   latency : Histogram.t;
+  group_latency : Histogram.t;
+  (* digest -> row-parallel group count of the cached program; the
+     schedule is a pure function of (program, grid), so one computation
+     serves every execution of the digest *)
+  groups_memo : (string, int) Hashtbl.t;
   mutable requests : int;
   mutable compiles : int;
   mutable executes : int;
@@ -74,6 +82,7 @@ type t = {
   mutable retired_shards : int;
   mutable spare_activations : int;
   mutable total_cycles : int;
+  mutable total_groups : int;
 }
 
 let m_requests = Metrics.counter "serve.requests"
@@ -94,6 +103,8 @@ let create cfg =
     cache = Cache.create ();
     fleet = [||];
     latency = Histogram.create ();
+    group_latency = Histogram.create ();
+    groups_memo = Hashtbl.create 16;
     requests = 0;
     compiles = 0;
     executes = 0;
@@ -102,7 +113,8 @@ let create cfg =
     re_runs = 0;
     retired_shards = 0;
     spare_activations = 0;
-    total_cycles = 0 }
+    total_cycles = 0;
+    total_groups = 0 }
 
 let config t = t.cfg
 
@@ -163,8 +175,8 @@ let materialize_fleet t =
             Fault_model.seed = Splitmix.derive t.cfg.fault_spec.Fault_model.seed id }
         in
         let status = if id < t.cfg.shards then Shard.Active else Shard.Spare in
-        Shard.create ?endurance:t.cfg.endurance ~spec ~status ~id ~lines
-          ~spares:t.cfg.cell_spares ())
+        Shard.create ?endurance:t.cfg.endurance ?geometry:t.cfg.geometry ~spec
+          ~status ~id ~lines ~spares:t.cfg.cell_spares ())
   end
 
 type exec_job = {
@@ -185,6 +197,30 @@ let reference_outputs entry inputs =
 let observe_latency t cycles =
   Histogram.observe t.latency cycles;
   t.total_cycles <- t.total_cycles + cycles
+
+(* Row-parallel group count of the digest's program under the configured
+   geometry; memoized per digest (the schedule is static).  A cached
+   program always fits: execute requests are bounded by the shard line
+   count, which {!Shard.create} bounds by the grid area. *)
+let groups_of t digest (p : Program.t) =
+  match t.cfg.geometry with
+  | None -> None
+  | Some g -> (
+    match Hashtbl.find_opt t.groups_memo digest with
+    | Some n -> Some n
+    | None -> (
+      match Controller.static_groups ~geometry:g p with
+      | Ok n ->
+        Hashtbl.add t.groups_memo digest n;
+        Some n
+      | Error msg -> invalid_arg ("Server: " ^ msg)))
+
+let observe_groups t digest p =
+  match groups_of t digest p with
+  | None -> ()
+  | Some n ->
+    Histogram.observe t.group_latency n;
+    t.total_groups <- t.total_groups + n
 
 let run ?pool ?(batch = 32) t requests =
   if batch <= 0 then invalid_arg "Server.run: batch size must be positive";
@@ -365,6 +401,7 @@ let run ?pool ?(batch = 32) t requests =
       in
       t.executes <- t.executes + 1;
       observe_latency t cycles;
+      observe_groups t j.digest j.entry.Cache.result.Pipeline.program;
       responses.(j.index) <-
         Some (Executed { digest = j.digest; shard = shard_id; outputs; correct;
                          cycles })
@@ -447,12 +484,15 @@ let summary t =
     retired_shards = t.retired_shards;
     spare_activations = t.spare_activations;
     total_cycles = t.total_cycles;
+    total_groups = t.total_groups;
     exec_stats =
       Array.fold_left
         (fun acc s -> Exec.add_stats acc (Shard.stats s))
         Exec.zero_stats t.fleet }
 
 let latency t = Histogram.copy t.latency
+
+let group_latency t = Histogram.copy t.group_latency
 
 let fleet_skew t =
   Array.to_list t.fleet
@@ -499,20 +539,33 @@ let row_json t ~label ~wall_s =
       (0, 0, 0) t.fleet
   in
   let rps = if wall_s > 0.0 then float_of_int s.requests /. wall_s else 0.0 in
+  let geometry_fields =
+    match t.cfg.geometry with
+    | None -> "\"geometry\":null"
+    | Some g ->
+      let gl = t.group_latency in
+      Printf.sprintf
+        "\"geometry\":%s,\"groups\":{\"p50\":%d,\"p90\":%d,\"p99\":%d,\
+         \"max\":%d,\"total\":%d}"
+        (Plim_util.Jsonx.quote (Plim_geometry.to_string g))
+        (Histogram.p50 gl) (Histogram.p90 gl) (Histogram.p99 gl)
+        (Histogram.max_value gl) s.total_groups
+  in
   Printf.sprintf
-    "{\"schema\":\"plim-serve/v1\",\"label\":%S,\"requests\":%d,\"compiles\":%d,\
+    "{\"schema\":\"plim-serve/v1\",\"label\":%s,\"requests\":%d,\"compiles\":%d,\
      \"executes\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"rejected\":%d,\
      \"incorrect\":%d,\"re_runs\":%d,\"retired_shards\":%d,\
      \"spare_activations\":%d,\"total_cycles\":%d,\
-     \"latency\":{\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d},\
+     \"latency\":{\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d},%s,\
      \"verify\":{\"reads\":%d,\"detections\":%d,\"remaps\":%d,\"retries\":%d},\
      \"fleet\":{\"active\":%d,\"retired\":%d,\"spare\":%d,\"gini\":%.6g,\
      \"max_mean\":%.6g,\"stdev\":%.6g,\"total_writes\":%d},\
      \"wall_s\":%.6g,\"requests_per_sec\":%.6g}"
-    label s.requests s.compiles s.executes s.cache_hits s.cache_misses
+    (Plim_util.Jsonx.quote label)
+    s.requests s.compiles s.executes s.cache_hits s.cache_misses
     s.rejected s.incorrect s.re_runs s.retired_shards s.spare_activations
     s.total_cycles (Histogram.p50 lat) (Histogram.p90 lat) (Histogram.p99 lat)
-    (Histogram.max_value lat) s.exec_stats.Exec.verify_reads
+    (Histogram.max_value lat) geometry_fields s.exec_stats.Exec.verify_reads
     s.exec_stats.Exec.detections s.exec_stats.Exec.remaps
     s.exec_stats.Exec.retries active retired spare skew.Wear.gini
     skew.Wear.max_mean skew.Wear.stdev skew.Wear.total wall_s rps

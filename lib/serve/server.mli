@@ -50,6 +50,12 @@ type config = {
                                  reference run; mismatches count as
                                  [incorrect] *)
   seed : int;
+  geometry : Plim_geometry.grid option;
+      (** physical [rows x cols] bound of every shard crossbar.  When
+          set, shards refuse to materialise with more lines than the
+          grid area, and each accepted execution additionally reports
+          its latency in row-parallel instruction groups
+          ({!Plim_machine.Plim_controller.static_groups}) *)
 }
 
 val default_config : config
@@ -82,6 +88,8 @@ type summary = {
   retired_shards : int;
   spare_activations : int;
   total_cycles : int;
+  total_groups : int;        (** row-parallel groups over every accepted
+                                 execution; 0 without a [geometry] *)
   exec_stats : Exec.stats;   (** fleet-wide write-verify totals *)
 }
 
@@ -102,6 +110,10 @@ val summary : t -> summary
 val latency : t -> Histogram.t
 (** Per-request simulated-cycle latency distribution (copy), cumulative
     over every {!run} on this server. *)
+
+val group_latency : t -> Histogram.t
+(** Per-execution latency in row-parallel instruction groups (copy);
+    empty unless the config has a [geometry]. *)
 
 val fleet_skew : t -> Wear.skew
 (** Wear skew {e across} shards: one total-write sample per non-spare

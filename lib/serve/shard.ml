@@ -10,6 +10,7 @@ type status = Spare | Active | Retired
 type t = {
   id : int;
   lines : int;
+  geometry : Plim_geometry.grid option;
   faulty : Faulty.t;
   remap : Remap.t;
   mutable status : status;
@@ -17,17 +18,25 @@ type t = {
   mutable stats : Exec.stats;
 }
 
-let create ?endurance ?(spec = Fault_model.none) ?(status = Active) ~id ~lines
-    ~spares () =
+let create ?endurance ?geometry ?(spec = Fault_model.none) ?(status = Active) ~id
+    ~lines ~spares () =
   if lines <= 0 then invalid_arg "Shard.create: need at least one line";
   if spares < 0 then invalid_arg "Shard.create: negative spare count";
+  (match geometry with
+  | Some g when not (Plim_geometry.fits g ~num_cells:lines) ->
+    invalid_arg
+      (Printf.sprintf "Shard.create: %d lines exceed grid %s (area %d)" lines
+         (Plim_geometry.to_string g) (Plim_geometry.area g))
+  | _ -> ());
   let xbar = Crossbar.create ?endurance (lines + spares) in
   let faulty = Faulty.create ~spec xbar in
   let remap = Remap.create ~spares ~lines () in
-  { id; lines; faulty; remap; status; executions = 0; stats = Exec.zero_stats }
+  { id; lines; geometry; faulty; remap; status; executions = 0;
+    stats = Exec.zero_stats }
 
 let id t = t.id
 let lines t = t.lines
+let geometry t = t.geometry
 let status t = t.status
 let set_status t s = t.status <- s
 

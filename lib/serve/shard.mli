@@ -17,6 +17,7 @@ type t
 
 val create :
   ?endurance:int ->
+  ?geometry:Plim_geometry.grid ->
   ?spec:Plim_fault.Fault_model.spec ->
   ?status:status ->
   id:int ->
@@ -28,11 +29,17 @@ val create :
     lines backed by [lines + spares] physical cells.  The fault spec's
     seed should already be per-shard derived (the fleet uses
     [Splitmix.derive seed id]); [status] defaults to [Active].
-    @raise Invalid_argument on non-positive [lines] or negative
-    [spares]. *)
+    [geometry] declares the crossbar's physical [rows x cols] bound —
+    the fleet reports request latency in row-parallel groups when set.
+    @raise Invalid_argument on non-positive [lines], negative [spares],
+    or a geometry whose area is below [lines]. *)
 
 val id : t -> int
 val lines : t -> int
+
+val geometry : t -> Plim_geometry.grid option
+(** The declared crossbar geometry, if any. *)
+
 val status : t -> status
 val set_status : t -> status -> unit
 val status_name : status -> string

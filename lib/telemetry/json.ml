@@ -116,7 +116,15 @@ let parse_exn s =
     | Some f -> f
     | None -> fail "bad number"
   in
-  let rec value () =
+  (* The reader recurses once per nesting level, so an adversarial (or
+     merely corrupted) input of a few hundred kilobytes of '[' would
+     blow the OCaml stack with a Stack_overflow the caller cannot
+     distinguish from a bug.  Bound the depth explicitly and fail with
+     a regular Parse_error instead; no plim-bench artefact nests more
+     than a dozen levels deep. *)
+  let max_depth = 256 in
+  let rec value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     let v =
       match peek () with
@@ -133,7 +141,7 @@ let parse_exn s =
             let key = string_lit () in
             skip_ws ();
             expect ':';
-            let v = value () in
+            let v = value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -155,7 +163,7 @@ let parse_exn s =
         end
         else begin
           let rec elements acc =
-            let v = value () in
+            let v = value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -178,7 +186,7 @@ let parse_exn s =
     skip_ws ();
     v
   in
-  let v = value () in
+  let v = value 0 in
   if !pos <> n then fail "trailing garbage";
   v
 

@@ -17,7 +17,9 @@ type delta = {
   metric : string;
   baseline : float;
   current : float;
-  change_pct : float;   (* (current - baseline) / baseline * 100 *)
+  change_pct : float;   (* (current - baseline) / baseline * 100; nan when
+                           from_zero — growth from 0 has no percentage *)
+  from_zero : bool;     (* baseline = 0 and current > 0 *)
   regression : bool;
 }
 
@@ -85,6 +87,9 @@ let serve_metrics_of row =
   |> take "latency.p50" (sub_num "latency" "p50" row)
   |> take "latency.p99" (sub_num "latency" "p99" row)
   |> take "total_cycles" (num "total_cycles" row)
+  |> take "groups.p50" (sub_num "groups" "p50" row)
+  |> take "groups.p99" (sub_num "groups" "p99" row)
+  |> take "groups.total" (sub_num "groups" "total" row)
   |> take "fleet.gini" (sub_num "fleet" "gini" row)
   |> take "fleet.max_mean" (sub_num "fleet" "max_mean" row)
   |> take "cache_misses" (num "cache_misses" row)
@@ -134,6 +139,34 @@ let horizon_rows_of j =
           r_metrics = horizon_metrics_of row })
       rows
 
+(* plim-bench/v2 "geometry" rows: the crossbar-geometry backend's
+   area/latency trade-off curve.  Group count and cross-row singletons
+   are cost metrics (smaller = better) and gate like instruction counts;
+   area is fixed by the grid choice, so it only gates against a baseline
+   run at the same grid (the key embeds the grid label). *)
+let geometry_metrics_of row =
+  let take name v acc = match v with Some f -> (name, f) :: acc | None -> acc in
+  []
+  |> take "groups" (num "groups" row)
+  |> take "cross_row" (num "cross_row" row)
+  |> take "max_group" (num "max_group" row)
+  |> take "instructions" (num "instructions" row)
+  |> List.rev
+
+let geometry_rows_of j =
+  match Option.bind (Json.member "geometry" j) Json.to_list with
+  | None -> []
+  | Some rows ->
+    List.map
+      (fun row ->
+        let str k =
+          Option.value ~default:"?" (Option.bind (Json.member k row) Json.to_string)
+        in
+        { r_benchmark = "geometry:" ^ str "benchmark" ^ "@" ^ str "grid";
+          r_config = str "config";
+          r_metrics = geometry_metrics_of row })
+      rows
+
 let rows_of j =
   match Option.bind (Json.member "benchmarks" j) Json.to_list with
   | None -> Error "no \"benchmarks\" array (not a plim-bench file?)"
@@ -160,7 +193,7 @@ let rows_of j =
             configs)
         benchmarks
     in
-    Ok (rows @ serve_rows_of j @ horizon_rows_of j)
+    Ok (rows @ serve_rows_of j @ horizon_rows_of j @ geometry_rows_of j)
 
 let key r = r.r_benchmark ^ "/" ^ r.r_config
 
@@ -195,8 +228,14 @@ let compare_json ?(threshold_pct = 2.0) ?(min_abs = 1e-9) ~baseline_path ~curren
               match List.assoc_opt metric cr.r_metrics with
               | None -> None
               | Some cv ->
+                (* A 0 -> x growth has no meaningful percentage: pinning it
+                   to a sentinel (the old code used 100.0) made 0 -> 1e-6
+                   outrank a genuine 80% regression in the report.  Mark it
+                   [from_zero] and rank those deltas separately instead. *)
+                let from_zero = bv = 0.0 && cv <> 0.0 in
                 let change_pct =
-                  if bv = 0.0 then if cv = 0.0 then 0.0 else 100.0
+                  if from_zero then Float.nan
+                  else if bv = 0.0 then 0.0
                   else (cv -. bv) /. bv *. 100.0
                 in
                 let grew = cv -. bv > min_abs in
@@ -212,13 +251,23 @@ let compare_json ?(threshold_pct = 2.0) ?(min_abs = 1e-9) ~baseline_path ~curren
                     baseline = bv;
                     current = cv;
                     change_pct;
+                    from_zero;
                     regression })
             br.r_metrics)
       base_rows
   in
   let regressions =
+    (* Finite-percentage regressions rank first, worst growth on top;
+       from-zero deltas follow as their own block, ordered by absolute
+       growth.  They still gate — they just no longer masquerade as a
+       "100%" regression above real percentage blow-ups. *)
     List.filter (fun d -> d.regression) deltas
-    |> List.sort (fun a b -> compare b.change_pct a.change_pct)
+    |> List.sort (fun a b ->
+           match (a.from_zero, b.from_zero) with
+           | false, false -> compare b.change_pct a.change_pct
+           | true, true -> compare b.current a.current
+           | false, true -> -1
+           | true, false -> 1)
   in
   let improvements =
     List.filter (fun d -> shrank d ~threshold_pct ~min_abs) deltas
@@ -283,8 +332,9 @@ let render ?(verbose = false) c =
   Printf.bprintf b "  %d metrics compared, threshold +%.2f%%\n" (List.length c.deltas)
     c.threshold_pct;
   let row d =
-    Printf.bprintf b "  %-12s %-24s %-18s %12.6g -> %-12.6g %+7.2f%%\n" d.benchmark
-      d.config d.metric d.baseline d.current d.change_pct
+    Printf.bprintf b "  %-12s %-24s %-18s %12.6g -> %-12.6g %8s\n" d.benchmark
+      d.config d.metric d.baseline d.current
+      (if d.from_zero then "(from 0)" else Printf.sprintf "%+7.2f%%" d.change_pct)
   in
   if c.regressions <> [] then begin
     Printf.bprintf b "REGRESSIONS (%d):\n" (List.length c.regressions);
@@ -305,36 +355,35 @@ let render ?(verbose = false) c =
   Buffer.contents b
 
 let to_json c =
+  let quote = Plim_util.Jsonx.quote in
   let b = Buffer.create 1024 in
   Printf.bprintf b
-    "{\"schema\":\"plim-report/v1\",\"baseline\":%S,\"current\":%S,\"threshold_pct\":%g,\"compared\":%d,\"regressions\":["
-    c.baseline_path c.current_path c.threshold_pct (List.length c.deltas);
+    "{\"schema\":\"plim-report/v1\",\"baseline\":%s,\"current\":%s,\"threshold_pct\":%g,\"compared\":%d,\"regressions\":["
+    (quote c.baseline_path) (quote c.current_path) c.threshold_pct
+    (List.length c.deltas);
   let row i d =
     if i > 0 then Buffer.add_char b ',';
     Printf.bprintf b
-      "{\"benchmark\":%S,\"config\":%S,\"metric\":%S,\"baseline\":%.6g,\"current\":%.6g,\"change_pct\":%.6g}"
-      d.benchmark d.config d.metric d.baseline d.current d.change_pct
+      "{\"benchmark\":%s,\"config\":%s,\"metric\":%s,\"baseline\":%.6g,\"current\":%.6g,\"change_pct\":%s,\"from_zero\":%b}"
+      (quote d.benchmark) (quote d.config) (quote d.metric) d.baseline d.current
+      (if d.from_zero then "null" else Printf.sprintf "%.6g" d.change_pct)
+      d.from_zero
   in
   List.iteri row c.regressions;
   Buffer.add_string b "],\"improvements\":[";
   List.iteri row c.improvements;
+  let string_array ks =
+    List.iteri
+      (fun i k ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (quote k))
+      ks
+  in
   Buffer.add_string b "],\"baseline_only\":[";
-  List.iteri
-    (fun i k ->
-      if i > 0 then Buffer.add_char b ',';
-      Printf.bprintf b "%S" k)
-    c.baseline_only;
+  string_array c.baseline_only;
   Buffer.add_string b "],\"current_only\":[";
-  List.iteri
-    (fun i k ->
-      if i > 0 then Buffer.add_char b ',';
-      Printf.bprintf b "%S" k)
-    c.current_only;
+  string_array c.current_only;
   Buffer.add_string b "],\"new_metrics\":[";
-  List.iteri
-    (fun i k ->
-      if i > 0 then Buffer.add_char b ',';
-      Printf.bprintf b "%S" k)
-    c.new_metrics;
+  string_array c.new_metrics;
   Buffer.add_string b "]}";
   Buffer.contents b

@@ -15,9 +15,15 @@
 
     [plim-serve/v1] rows (the ["serve"] array) are folded into the same
     comparison as pseudo-benchmarks keyed ["serve:<label>"], tracking
-    latency quantiles, total cycles, fleet wear skew, cache misses and
-    failure counts; their wall-clock throughput fields are excluded like
-    the phases. *)
+    latency quantiles, total cycles, group-latency quantiles (when the
+    fleet declares a crossbar geometry), fleet wear skew, cache misses
+    and failure counts; their wall-clock throughput fields are excluded
+    like the phases.
+
+    [plim-bench/v2] ["geometry"] rows — the crossbar-geometry backend's
+    area/latency trade-off curve — fold in as pseudo-benchmarks keyed
+    ["geometry:<benchmark>@<grid>"], gating on group count, cross-row
+    singletons, widest group and instruction count. *)
 
 type delta = {
   benchmark : string;
@@ -25,7 +31,14 @@ type delta = {
   metric : string;
   baseline : float;
   current : float;
-  change_pct : float;   (** [(current - baseline) / baseline * 100] *)
+  change_pct : float;   (** [(current - baseline) / baseline * 100];
+                            [nan] when [from_zero] — growth from a zero
+                            baseline has no meaningful percentage *)
+  from_zero : bool;     (** [baseline = 0] and [current > 0]: gates like
+                            any growth, but is ranked separately (by
+                            absolute growth, after every finite-percentage
+                            regression) instead of being pinned to a
+                            percentage sentinel *)
   regression : bool;
 }
 
@@ -37,7 +50,10 @@ type comparison = {
   threshold_pct : float;
   min_abs : float;
   deltas : delta list;          (** every compared metric, file order *)
-  regressions : delta list;     (** worst (largest growth) first *)
+  regressions : delta list;     (** finite-percentage regressions first
+                                    (worst growth on top), then the
+                                    [from_zero] block ranked by absolute
+                                    growth *)
   improvements : delta list;    (** shrank beyond threshold, best first *)
   baseline_only : string list;  (** benchmark/config keys that vanished *)
   current_only : string list;   (** keys with no baseline counterpart *)

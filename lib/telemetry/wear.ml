@@ -83,7 +83,9 @@ let heatmap_json ?width ~label counts =
     | None -> default_width n
   in
   let b = Buffer.create (n * 4 + 128) in
-  Printf.bprintf b "{\"label\":%S,\"width\":%d,\"skew\":%s,\"counts\":[" label width
+  Printf.bprintf b "{\"label\":%s,\"width\":%d,\"skew\":%s,\"counts\":["
+    (Plim_util.Jsonx.quote label)
+    width
     (skew_json (skew_of counts));
   Array.iteri
     (fun i c ->

@@ -234,6 +234,29 @@ let test_json_parse () =
       | Error _ -> ())
     [ "{"; "[1,]"; "{\"a\":}"; "12 34"; "\"unterminated"; "nulll" ]
 
+let test_json_depth_limit () =
+  (* the recursive-descent reader is depth-bounded: adversarially nested
+     input gets a clean Parse_error, never a stack overflow *)
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Json.parse (deep 200) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected 200-deep nesting: %s" e);
+  (match Json.parse (deep 300) with
+  | Ok _ -> Alcotest.fail "accepted 300-deep nesting"
+  | Error e ->
+    check_bool "error names the depth bound" true (contains ~affix:"deep" e));
+  (try
+     ignore (Json.parse_exn (deep 100_000));
+     Alcotest.fail "accepted pathologically deep nesting"
+   with Json.Parse_error _ -> ());
+  (* a complete value followed by anything is an error, not a prefix parse *)
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted trailing garbage %S" bad
+      | Error _ -> ())
+    [ {|{"a":1} x|}; "[1] [2]"; "1 2"; "null null"; {|"s" "t"|} ]
+
 (* --- trajectory engine / regression gate -------------------------------- *)
 
 let bench_doc ~schema ~max_writes ~extra =
@@ -416,6 +439,111 @@ let test_report_serve_rows () =
       Alcotest.(check string) "benchmark" "serve:steady" d.Report.benchmark
     | l -> Alcotest.failf "expected exactly 1 regression, got %d" (List.length l))
 
+let zero_doc ~instructions ~dead_writes =
+  Printf.sprintf
+    {|{"schema":"plim-bench/v2","generated_at":0,"benchmarks":[
+       {"name":"b1","configs":[
+         {"config":"naive","instructions":%d,"rram_cells":20,"dead_writes":%d}]}],
+      "phases":[]}|}
+    instructions dead_writes
+
+let test_report_from_zero () =
+  (* growth from a zero baseline has no meaningful percentage: it must
+     still gate, but ranked after every finite-percentage regression and
+     rendered/serialized without a percentage sentinel *)
+  let base = zero_doc ~instructions:100 ~dead_writes:0 in
+  let cur = zero_doc ~instructions:150 ~dead_writes:5 in
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+      (parse_exn cur)
+  with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "both growths gate" true (Report.has_regressions c);
+    (match c.Report.regressions with
+    | [ a; b ] ->
+      Alcotest.(check string) "finite percentage ranks first" "instructions"
+        a.Report.metric;
+      Alcotest.(check (float 1e-6)) "finite pct" 50.0 a.Report.change_pct;
+      check_bool "finite row not from_zero" false a.Report.from_zero;
+      Alcotest.(check string) "zero-baseline growth ranks last" "dead_writes"
+        b.Report.metric;
+      check_bool "flagged from_zero" true b.Report.from_zero;
+      check_bool "no 100% sentinel" true (Float.is_nan b.Report.change_pct)
+    | l -> Alcotest.failf "expected 2 regressions, got %d" (List.length l));
+    let txt = Report.render c in
+    check_bool "render marks zero-baseline growth" true
+      (contains ~affix:"from 0" txt);
+    let j = Report.to_json c in
+    check_bool "JSON uses null, not a sentinel pct" true
+      (contains ~affix:{|"change_pct":null|} j);
+    check_bool "JSON carries from_zero" true
+      (contains ~affix:{|"from_zero":true|} j);
+    (match Json.parse j with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "report JSON unparsable: %s" e)
+
+let geometry_doc ~groups =
+  Printf.sprintf
+    {|{"schema":"plim-bench/v2","generated_at":0,"benchmarks":[],"phases":[],
+      "geometry":[{"benchmark":"dec4","config":"endurance-full","grid":"2x16",
+        "rows":2,"cols":16,"area":32,"instructions":50,"groups":%d,
+        "cross_row":1,"max_group":12}]}|}
+    groups
+
+let test_report_geometry_rows () =
+  (* geometry trade-off rows fold in as geometry:<benchmark>@<grid>
+     pseudo-benchmarks and gate on group latency like any cost *)
+  let base = geometry_doc ~groups:18 in
+  (match
+     Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+       (parse_exn base)
+   with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "geometry metrics compared" true (List.length c.Report.deltas >= 4);
+    check_bool "rows keyed geometry:dec4@2x16" true
+      (List.for_all
+         (fun d ->
+           d.Report.benchmark = "geometry:dec4@2x16"
+           && d.Report.config = "endurance-full")
+         c.Report.deltas);
+    check_bool "identical -> zero" false (Report.has_regressions c));
+  match
+    Report.compare_json ~baseline_path:"a" ~current_path:"b" (parse_exn base)
+      (parse_exn (geometry_doc ~groups:25))
+  with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok c ->
+    check_bool "group-latency growth gates" true (Report.has_regressions c);
+    (match c.Report.regressions with
+    | [ d ] -> Alcotest.(check string) "metric" "groups" d.Report.metric
+    | l -> Alcotest.failf "expected exactly 1 regression, got %d" (List.length l))
+
+(* the emit side (Plim_util.Jsonx) and the read side (Json) agree on the
+   escape language: quoting any byte string roundtrips exactly *)
+let prop_jsonx_roundtrip =
+  QCheck.Test.make ~count:1000
+    ~name:"Json.parse inverts Jsonx.quote on arbitrary byte strings"
+    QCheck.string
+    (fun s ->
+      match Json.parse (Plim_util.Jsonx.quote s) with
+      | Ok (Json.Str s') -> s' = s
+      | _ -> false)
+
+let prop_jsonx_roundtrip_in_object =
+  QCheck.Test.make ~count:500
+    ~name:"quoted strings roundtrip as object keys and members"
+    QCheck.(pair string string)
+    (fun (k, v) ->
+      let doc =
+        Printf.sprintf "{%s:%s}" (Plim_util.Jsonx.quote k)
+          (Plim_util.Jsonx.quote v)
+      in
+      match Json.parse doc with
+      | Ok j -> Option.bind (Json.member k j) Json.to_string = Some v
+      | Error _ -> false)
+
 (* --- metrics registry exposition ---------------------------------------- *)
 
 let test_metrics_histogram () =
@@ -505,7 +633,12 @@ let () =
       ( "wear",
         [ Alcotest.test_case "skew metrics" `Quick test_wear_skew;
           Alcotest.test_case "heatmap" `Quick test_wear_heatmap ] );
-      ( "json", [ Alcotest.test_case "reader" `Quick test_json_parse ] );
+      ( "json",
+        [ Alcotest.test_case "reader" `Quick test_json_parse;
+          Alcotest.test_case "depth bound and trailing garbage" `Quick
+            test_json_depth_limit;
+          QCheck_alcotest.to_alcotest prop_jsonx_roundtrip;
+          QCheck_alcotest.to_alcotest prop_jsonx_roundtrip_in_object ] );
       ( "report",
         [ Alcotest.test_case "identical -> zero" `Quick test_report_identical;
           Alcotest.test_case "regression detected" `Quick test_report_regression;
@@ -515,7 +648,10 @@ let () =
           Alcotest.test_case "new metrics reported, not dropped" `Quick
             test_report_new_metrics;
           Alcotest.test_case "serve rows fold into the gate" `Quick
-            test_report_serve_rows ] );
+            test_report_serve_rows;
+          Alcotest.test_case "zero-baseline growth" `Quick test_report_from_zero;
+          Alcotest.test_case "geometry rows fold into the gate" `Quick
+            test_report_geometry_rows ] );
       ( "metrics",
         [ Alcotest.test_case "histogram exposition" `Quick test_metrics_histogram ] );
       ( "campaign",

@@ -326,6 +326,26 @@ let test_lifetime () =
   let t = Lifetime.estimate ~endurance:1e10 [| 0; 0 |] in
   check_bool "no writes = infinite" true (t.Lifetime.executions_to_first_failure = infinity)
 
+(* --- Jsonx ------------------------------------------------------------- *)
+
+let test_jsonx_escape () =
+  let module J = Plim_util.Jsonx in
+  Alcotest.(check string) "plain passthrough" "abc" (J.escape "abc");
+  Alcotest.(check string) "quote" {|a\"b|} (J.escape "a\"b");
+  Alcotest.(check string) "backslash" {|a\\b|} (J.escape "a\\b");
+  Alcotest.(check string) "short escapes" {|\n\t\r\b\f|} (J.escape "\n\t\r\b\012");
+  Alcotest.(check string) "other control bytes get \\u00XX" {|\u0000\u0001\u001f|}
+    (J.escape "\000\001\031");
+  (* 0x7f and non-ASCII bytes are not control characters: UTF-8 payloads
+     pass through untouched *)
+  Alcotest.(check string) "utf-8 passthrough" "caf\xc3\xa9 \x7f"
+    (J.escape "caf\xc3\xa9 \x7f");
+  Alcotest.(check string) "quote wraps" {|"a\"b"|} (J.quote "a\"b");
+  let b = Buffer.create 8 in
+  J.escape_into b "x\n";
+  J.escape_into b "\"y";
+  Alcotest.(check string) "escape_into appends" {|x\n\"y|} (Buffer.contents b)
+
 (* --- Csv --------------------------------------------------------------- *)
 
 let test_csv_escape () =
@@ -379,6 +399,8 @@ let () =
           Alcotest.test_case "gini" `Quick test_stats_gini;
           qc stdev_nonneg ] );
       ("lifetime", [ Alcotest.test_case "estimates" `Quick test_lifetime ]);
+      ( "jsonx",
+        [ Alcotest.test_case "escape vectors" `Quick test_jsonx_escape ] );
       ( "csv",
         [ Alcotest.test_case "escaping" `Quick test_csv_escape;
           Alcotest.test_case "table" `Quick test_csv_table ] ) ]
