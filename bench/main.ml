@@ -793,6 +793,7 @@ let serve () =
    rows are part of the -j1 == -j4 byte-identity gate. *)
 
 let horizon_rows : string list ref = ref []
+let cert_rows : string list ref = ref []
 
 let horizon () =
   let module H = Plim_serve.Horizon in
@@ -848,7 +849,58 @@ let horizon () =
     Printf.printf
       "(ok: start_gap+wolfram strictly outlives none at every fault rate)\n"
   | vs -> List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) vs);
-  horizon_rows := List.map (fun (_, _, r) -> H.row_json r) cells
+  (* static certification gate: every simulated grid cell must fall
+     inside the bracket Plim_certify derives without simulating.  The
+     default mix (compile_ratio > 0) only has finite lower bounds, so a
+     second exec-only grid pins the upper ends too; its rows ride along
+     in the results under a "/exec" label suffix. *)
+  let module C = Plim_certify in
+  let cert_fail = ref 0 in
+  let gate cells certs =
+    List.iter
+      (fun (_, _, r) ->
+        match C.find certs (H.label r) with
+        | None ->
+          incr cert_fail;
+          Printf.printf "CERT FAIL %s: no matching certificate\n" (H.label r)
+        | Some c -> (
+          match C.check_result c r with
+          | Ok () -> ()
+          | Error e ->
+            incr cert_fail;
+            Printf.printf "CERT FAIL %s: %s\n" (H.label r) e))
+      cells
+  in
+  let certs = C.grid base ~strategies:H.all_strategies ~fault_rates:rates in
+  gate cells certs;
+  let xbase =
+    { base with
+      H.mix =
+        { base.H.mix with Plim_serve.Workload.compile_ratio = 0.0 } }
+  in
+  let xcells =
+    H.grid ?pool:!pool xbase ~strategies:H.all_strategies ~fault_rates:rates
+  in
+  let xcerts = C.grid xbase ~strategies:H.all_strategies ~fault_rates:rates in
+  gate xcells xcerts;
+  if !cert_fail > 0 then begin
+    Printf.eprintf "[bench] %d simulated cell(s) escape their static certificates\n"
+      !cert_fail;
+    exit 1
+  end;
+  Printf.printf
+    "(ok: all %d simulated cells inside their static wear-bound certificates)\n"
+    (List.length cells + List.length xcells);
+  cert_rows :=
+    List.map (fun (_, _, c) -> C.row_json c) certs
+    @ List.map
+        (fun (_, _, c) -> C.row_json ~label:(C.label c ^ "/exec") c)
+        xcerts;
+  horizon_rows :=
+    List.map (fun (_, _, r) -> H.row_json r) cells
+    @ List.map
+        (fun (_, _, r) -> H.row_json ~label:(H.label r ^ "/exec") r)
+        xcells
 
 (* ------------------------------------------------------------------ *)
 (* Geometry: the area/latency trade-off curve of the crossbar-geometry
@@ -1190,6 +1242,13 @@ let write_results_json results path =
       Buffer.add_char b '\n';
       Buffer.add_string b row)
     !horizon_rows;
+  Buffer.add_string b "\n],\"cert\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b row)
+    !cert_rows;
   Buffer.add_string b "\n],\"geometry\":[";
   List.iteri
     (fun i row ->
@@ -1210,6 +1269,8 @@ let usage () =
      phases: table1 table2 table3 summary csv ablations section2 wearlevel\n\
     \        lifetime histogram verify faulttol wear serve horizon geometry\n\
     \        perf all\n\
+    \        (horizon also certifies every cell against its static\n\
+    \        plim-cert/v1 wear bracket and fails on any escape)\n\
      -j N            run fan-out phases on N domains (default: domain count);\n\
     \                -j 1 is byte-identical to the sequential program\n\
      --suite small   restrict tables to the small benchmark suite\n\

@@ -813,11 +813,19 @@ let lint_run sources config cap effort rewriting selection allocation geometry
           incr error_total
         | Ok sched -> (
           match Geometry.validate p sched with
-          | Ok () ->
-            if not json then
-              Printf.printf "%s: geometry %s: %d groups, %d cross-row: ok\n"
-                source (Geometry.to_string grid) (Geometry.num_groups sched)
-                sched.Geometry.s_cross_row
+          | Ok () -> (
+            (* second opinion: the certify race detector re-derives the
+               hazard edges from the def-use chains *)
+            match Plim_certify.Race.check_schedule p sched with
+            | Ok () ->
+              if not json then
+                Printf.printf
+                  "%s: geometry %s: %d groups, %d cross-row: ok (race-free)\n"
+                  source (Geometry.to_string grid) (Geometry.num_groups sched)
+                  sched.Geometry.s_cross_row
+            | Error msg ->
+              Printf.eprintf "%s: geometry race: %s\n" source msg;
+              incr error_total)
           | Error msg ->
             Printf.eprintf "%s: geometry invariant: %s\n" source msg;
             incr error_total))
@@ -1412,6 +1420,242 @@ let horizon_cmd =
       $ compile_ratio $ jobs $ json $ trace_arg $ metrics_arg
       $ profile_flag_arg)
 
+let certify_run sources strategies rates endurance epoch_requests psi
+    rekey_period model_spares shards spare_shards cell_spares lines zipf
+    compile_ratio fault_seed json check_file =
+  let module H = Plim_serve.Horizon in
+  let module C = Plim_certify in
+  let module Json = Plim_telemetry.Json in
+  let specs =
+    match sources with
+    | [] -> Suite.small_suite
+    | names ->
+      List.map
+        (fun name ->
+          match Suite.find name with
+          | spec -> spec
+          | exception Not_found ->
+            Printf.eprintf
+              "plimc certify: %S is not a known benchmark (try 'plimc list')\n"
+              name;
+            exit 1)
+        names
+  in
+  let mix = Plim_serve.Workload.mix_of_suite ~zipf ~compile_ratio specs in
+  let strategies =
+    match strategies with [] -> H.all_strategies | ss -> ss
+  in
+  let rates = match rates with [] -> [ 0.0 ] | rs -> rs in
+  let base = H.default_config in
+  let server =
+    { base.H.server with
+      Plim_serve.Server.shards;
+      spare_shards;
+      cell_spares;
+      lines }
+  in
+  let cfg =
+    { base with
+      H.server;
+      mix;
+      endurance;
+      epoch_requests;
+      psi;
+      wolfram_period = rekey_period;
+      model_spares }
+  in
+  let cells = C.grid ~fault_seed cfg ~strategies ~fault_rates:rates in
+  (match check_file with
+  | None ->
+    if json then
+      List.iter (fun (_, _, c) -> print_endline (C.row_json c)) cells
+    else begin
+      Printf.printf
+        "certify: endurance %.3g writes/cell, epochs of %d requests, \
+         compile-ratio %g\n"
+        endurance epoch_requests compile_ratio;
+      Printf.printf "%-18s %6s %8s %9s %21s %21s %9s\n" "strategy" "rate"
+        "writes" "rate-ub" "ttff [lo,hi]" "half-life [lo,hi]" "capacity0";
+      List.iter
+        (fun (_, rate, c) ->
+          Printf.printf "%-18s %6g %8g %9.4g [%9.5g,%9.5g] [%9.5g,%9.5g] %9.2f\n"
+            (H.strategy_name c.C.c_strategy)
+            rate c.C.c_writes.C.upper c.C.c_rate_cell_upper
+            c.C.c_ttff.C.lower c.C.c_ttff.C.upper c.C.c_half_life.C.lower
+            c.C.c_half_life.C.upper c.C.c_capacity0)
+        cells
+    end
+  | Some file ->
+    (* accept both shapes a horizon run produces: a plim-bench results
+       object (or bare array) and `plimc horizon --json` row-per-line *)
+    let rows =
+      match Json.parse_file file with
+      | Ok (Json.Obj _ as j) ->
+        (match Option.bind (Json.member "horizon" j) Json.to_list with
+        | Some rows -> rows
+        | None ->
+          Printf.eprintf "plimc certify: %s has no \"horizon\" rows\n" file;
+          exit 1)
+      | Ok (Json.Arr rows) -> rows
+      | Ok row -> [ row ]
+      | Error _ ->
+        let ic = open_in file in
+        let rows = ref [] in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" then
+               match Json.parse line with
+               | Ok row -> rows := row :: !rows
+               | Error e ->
+                 close_in ic;
+                 Printf.eprintf "plimc certify: %s: %s\n" file e;
+                 exit 1
+           done
+         with End_of_file -> close_in ic);
+        List.rev !rows
+    in
+    if rows = [] then begin
+      Printf.eprintf "plimc certify: %s contains no rows to check\n" file;
+      exit 1
+    end;
+    let failures = ref 0 in
+    List.iter
+      (fun row ->
+        match C.check_row_json cells row with
+        | Ok lbl -> Printf.printf "ok   %s: inside the static bracket\n" lbl
+        | Error e ->
+          incr failures;
+          Printf.printf "FAIL %s\n" e)
+      rows;
+    if !failures > 0 then begin
+      Printf.eprintf "%d row(s) escape their certificates\n" !failures;
+      exit 1
+    end)
+
+let certify_cmd =
+  let sources =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"BENCH"
+             ~doc:"Benchmarks forming the program mix, most popular first \
+                   (default: the small suite).")
+  in
+  let strategy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Plim_serve.Horizon.strategy_of_string s with
+          | Ok st -> Ok st
+          | Error e -> Error (`Msg e)),
+        fun ppf st ->
+          Format.pp_print_string ppf (Plim_serve.Horizon.strategy_name st) )
+  in
+  let strategies =
+    Arg.(value & opt_all strategy_conv []
+         & info [ "strategy" ] ~docv:"S"
+             ~doc:"Endurance strategy: $(b,none), $(b,start_gap), \
+                   $(b,wolfram_remap) or $(b,start_gap+wolfram) (repeatable; \
+                   default: all four).")
+  in
+  let rates =
+    Arg.(value & opt_all float []
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Permanent-fault rate of the wear model (repeatable; \
+                   default: 0).")
+  in
+  let endurance =
+    Arg.(value & opt float 2e5
+         & info [ "endurance" ] ~docv:"E"
+             ~doc:"Per-cell write budget being certified.")
+  in
+  let epoch_requests =
+    Arg.(value & opt int 80
+         & info [ "epoch-requests" ] ~docv:"N"
+             ~doc:"Requests per epoch of simulated traffic.")
+  in
+  let psi =
+    Arg.(value & opt int 100
+         & info [ "psi" ] ~docv:"N" ~doc:"Start-Gap rotation period.")
+  in
+  let rekey_period =
+    Arg.(value & opt int 50_000
+         & info [ "rekey-period" ] ~docv:"N"
+             ~doc:"Writes between WoLFRaM re-keys.")
+  in
+  let model_spares =
+    Arg.(value & opt int 8
+         & info [ "model-spares" ] ~docv:"N"
+             ~doc:"Spare lines per shard in the wear model.")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Initially active crossbar shards.")
+  in
+  let spare_shards =
+    Arg.(value & opt int 1
+         & info [ "spare-shards" ] ~docv:"N"
+             ~doc:"Spare shards activated when an active shard dies.")
+  in
+  let cell_spares =
+    Arg.(value & opt int 8
+         & info [ "cell-spares" ] ~docv:"N"
+             ~doc:"Spare lines per live server shard (sets the measured cell \
+                   range).")
+  in
+  let lines =
+    Arg.(value & opt int 0
+         & info [ "lines" ] ~docv:"N"
+             ~doc:"Logical lines per shard; 0 sizes to the largest compiled \
+                   program, exactly like the simulator.")
+  in
+  let zipf =
+    Arg.(value & opt float 1.0
+         & info [ "zipf" ] ~docv:"S"
+             ~doc:"Zipf exponent of program popularity (0 = uniform).")
+  in
+  let compile_ratio =
+    Arg.(value & opt float 0.05
+         & info [ "compile-ratio" ] ~docv:"P"
+             ~doc:"Probability a sampled request is a (redundant) compile. \
+                   Any positive value makes zero-wear epochs possible, so \
+                   upper lifetime bounds become unbounded (-1).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 0xFA17
+         & info [ "fault-seed" ] ~docv:"S"
+             ~doc:"Root seed of the fault-spec derivation; must match the \
+                   horizon campaign being checked (default matches \
+                   $(b,plimc horizon)).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one plim-cert/v1 row per grid cell instead of text.")
+  in
+  let check_file =
+    Arg.(value & opt (some file) None
+         & info [ "check" ] ~docv:"FILE"
+             ~doc:"Check every plim-horizon/v1 row in $(docv) (a plim-bench \
+                   results file or $(b,plimc horizon --json) output) against \
+                   its static bracket; exit 1 if any row escapes.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Static endurance certification: derive sound lower/upper bounds on \
+          time-to-first-failure and capacity half-life for every (strategy, \
+          fault-rate) grid cell from the compiled instruction streams and \
+          the workload spec alone — no simulation — and optionally gate \
+          simulated plim-horizon/v1 rows against their brackets."
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 on success; 1 when $(b,--check) finds a row outside its \
+               bracket (or an unknown benchmark); 2 on usage errors." ])
+    Term.(
+      const certify_run $ sources $ strategies $ rates $ endurance
+      $ epoch_requests $ psi $ rekey_period $ model_spares $ shards
+      $ spare_shards $ cell_spares $ lines $ zipf $ compile_ratio $ fault_seed
+      $ json $ check_file)
+
 let selftest_run () =
   let failures = ref 0 in
   List.iter
@@ -1448,7 +1692,8 @@ let main =
     (Cmd.info "plimc" ~version:"1.0.0"
        ~doc:"Endurance-aware compiler for the PLiM logic-in-memory computer")
     [ list_cmd; compile_cmd; stats_cmd; run_cmd; export_cmd; faults_cmd; fuzz_cmd;
-      lint_cmd; report_cmd; profile_cmd; serve_cmd; horizon_cmd; selftest_cmd ]
+      lint_cmd; report_cmd; profile_cmd; serve_cmd; horizon_cmd; certify_cmd;
+      selftest_cmd ]
 
 (* Usage problems — unknown subcommands, bad flags, unparsable option
    values — exit 2 uniformly across every subcommand (cmdliner's default

@@ -1,0 +1,595 @@
+(* Static endurance certifier: see the .mli for the abstraction and the
+   soundness arguments each bound leans on.  Everything here must stay a
+   pure function of the config — certificates ride the -j1 == -jN
+   byte-identity gate next to the simulator rows they bracket. *)
+
+module Program = Plim_isa.Program
+module Pipeline = Plim_core.Pipeline
+module Fault_model = Plim_fault.Fault_model
+module Remap = Plim_fault.Remap
+module Lifetime = Plim_stats.Lifetime
+module Wolfram = Plim_rram.Wolfram
+module Splitmix = Plim_util.Splitmix
+module Workload = Plim_serve.Workload
+module Server = Plim_serve.Server
+module Horizon = Plim_serve.Horizon
+module Json = Plim_telemetry.Json
+
+(* --- race detection ----------------------------------------------------- *)
+
+module Race = struct
+  type hazard = Raw | Waw | War
+
+  let hazard_name = function Raw -> "RAW" | Waw -> "WAW" | War -> "WAR"
+
+  type edge = {
+    e_before : int;
+    e_after : int;
+    e_cell : int;
+    e_hazard : hazard;
+  }
+
+  (* Happens-before edges from the def-use chains.  [Plim_analyze] keeps
+     defs in chronological order, so grouping them per cell preserves the
+     chain order; a def with [def_at = -1] is the external PI load and
+     orders nothing (it happens before instruction 0 by construction). *)
+  let edges_of_analysis (a : Plim_analyze.analysis) =
+    let n = Array.length a.Plim_analyze.write_counts in
+    let by_cell = Array.make n [] in
+    List.iter
+      (fun (d : Plim_analyze.def) ->
+        by_cell.(d.Plim_analyze.cell) <- d :: by_cell.(d.Plim_analyze.cell))
+      a.Plim_analyze.defs;
+    let edges = ref [] in
+    let add e = edges := e :: !edges in
+    Array.iteri
+      (fun cell chain_rev ->
+        let chain = List.rev chain_rev in
+        let rec walk = function
+          | [] -> ()
+          | (d : Plim_analyze.def) :: rest ->
+            if d.Plim_analyze.def_at >= 0 then
+              List.iter
+                (fun u ->
+                  if u <> d.Plim_analyze.def_at then
+                    add
+                      { e_before = d.Plim_analyze.def_at; e_after = u;
+                        e_cell = cell; e_hazard = Raw })
+                d.Plim_analyze.uses;
+            (match rest with
+            | (next : Plim_analyze.def) :: _ ->
+              if d.Plim_analyze.def_at >= 0 then
+                add
+                  { e_before = d.Plim_analyze.def_at;
+                    e_after = next.Plim_analyze.def_at; e_cell = cell;
+                    e_hazard = Waw };
+              List.iter
+                (fun u ->
+                  (* a use by the overwriting instruction itself is the
+                     read-modify-write of RM3, not an ordering edge *)
+                  if u <> next.Plim_analyze.def_at then
+                    add
+                      { e_before = u; e_after = next.Plim_analyze.def_at;
+                        e_cell = cell; e_hazard = War })
+                d.Plim_analyze.uses
+            | [] -> ());
+            walk rest
+        in
+        walk chain)
+      by_cell;
+    List.rev !edges
+
+  let edges p = edges_of_analysis (Plim_analyze.analyze p)
+
+  let check_groups p groups =
+    let a = Plim_analyze.analyze p in
+    let ubd =
+      List.exists
+        (fun (d : Plim_analyze.diagnostic) ->
+          d.Plim_analyze.kind = Plim_analyze.Use_before_def)
+        (Plim_analyze.errors a)
+    in
+    if ubd then
+      Error "program has use-before-def reads; its ordering is not certifiable"
+    else begin
+      let n = Program.length p in
+      let group_of = Array.make n (-1) in
+      let bad = ref None in
+      Array.iteri
+        (fun gi members ->
+          Array.iter
+            (fun i ->
+              if !bad = None then
+                if i < 0 || i >= n then
+                  bad := Some (Printf.sprintf "instruction index %d out of range" i)
+                else if group_of.(i) >= 0 then
+                  bad := Some (Printf.sprintf "instruction %d scheduled twice" i)
+                else group_of.(i) <- gi)
+            members)
+        groups;
+      (match !bad with
+      | Some _ -> ()
+      | None ->
+        Array.iteri
+          (fun i gi ->
+            if !bad = None && gi < 0 then
+              bad := Some (Printf.sprintf "instruction %d never scheduled" i))
+          group_of);
+      match !bad with
+      | Some msg -> Error ("coverage: " ^ msg)
+      | None ->
+        let race = ref None in
+        List.iter
+          (fun e ->
+            if !race = None && group_of.(e.e_before) >= group_of.(e.e_after)
+            then race := Some e)
+          (edges_of_analysis a);
+        (match !race with
+        | None -> Ok ()
+        | Some e ->
+          Error
+            (Printf.sprintf
+               "race: %s hazard on cell %d — instruction %d (group %d) must \
+                precede instruction %d (group %d)"
+               (hazard_name e.e_hazard) e.e_cell e.e_before
+               group_of.(e.e_before) e.e_after group_of.(e.e_after)))
+    end
+
+  let check_schedule p (s : Plim_geometry.schedule) =
+    check_groups p s.Plim_geometry.s_groups
+end
+
+(* --- wear-bound certificates -------------------------------------------- *)
+
+type bound = { lower : float; upper : float }
+
+type program_profile = {
+  p_label : string;
+  p_instructions : int;
+  p_cells : int;
+  p_wmax : int;
+  p_mass : float;
+  p_fits : bool;
+}
+
+type t = {
+  c_strategy : Horizon.strategy;
+  c_fault_rate : float;
+  c_endurance : float;
+  c_epoch_requests : int;
+  c_compile_ratio : float;
+  c_zipf : float;
+  c_shards : int;
+  c_spare_shards : int;
+  c_lines : int;
+  c_meas : int;
+  c_cells : int;
+  c_physical : int;
+  c_alive0 : int;
+  c_capacity0 : float;
+  c_overhead : float;
+  c_writes : bound;
+  c_rate_cell_upper : float;
+  c_ttff : bound;
+  c_half_life : bound;
+  c_deaths_to_half : int;
+  c_line_deaths_lower : int;
+  c_expected_ttff : float;
+  c_programs : program_profile list;
+}
+
+let uses_start_gap = function
+  | Horizon.Start_gap | Horizon.Start_gap_wolfram -> true
+  | Horizon.No_leveling | Horizon.Wolfram_remap -> false
+
+let uses_wolfram = function
+  | Horizon.Wolfram_remap | Horizon.Start_gap_wolfram -> true
+  | Horizon.No_leveling | Horizon.Start_gap -> false
+
+(* Exact replay of one model shard's power-on scrub (Horizon.init_model):
+   sample the permanent-fault population under the derived per-shard seed,
+   remap every logical line off dead physicals.  Returns whether the shard
+   survives and the minimum number of wear-out line deaths that can drain
+   its remaining spare pool — Remap hands out spares in ascending physical
+   order, so the consumed set is exact, not an estimate. *)
+type shard0 = {
+  s0_alive : bool;
+  s0_min_wear_deaths : int;  (* to kill the shard, given wear retirement *)
+}
+
+let replay_shard ~spec ~model_spares ~cells id =
+  let rm = Remap.create ~spares:model_spares ~lines:cells () in
+  let np = Remap.num_physical rm in
+  let dead = Array.make np false in
+  let spec =
+    { spec with Fault_model.seed = Splitmix.derive spec.Fault_model.seed id }
+  in
+  List.iter
+    (fun (p, _kind) -> dead.(p) <- true)
+    (Fault_model.sample_permanent spec ~cells:np);
+  let alive = ref true in
+  for l = 0 to cells - 1 do
+    let continue = ref true in
+    while !continue && !alive && dead.(Remap.physical rm l) do
+      match Remap.retire rm l with
+      | Some _ -> ()
+      | None ->
+        alive := false;
+        continue := false
+    done
+  done;
+  let spares_left = Remap.spares_left rm in
+  (* unconsumed spares occupy the top [spares_left] physical addresses *)
+  let dead_spares = ref 0 in
+  for p = np - spares_left to np - 1 do
+    if dead.(p) then incr dead_spares
+  done;
+  (* each completed wear death consumes exactly one healthy spare (its
+     retire chain may also burn dead spares); the death that finds the
+     pool dry kills the shard *)
+  { s0_alive = !alive;
+    s0_min_wear_deaths = max 1 (spares_left - !dead_spares + 1) }
+
+let profile_mix pipeline ~lines (mix : Workload.mix) =
+  let n = List.length mix.Workload.programs in
+  let mass = Workload.zipf_mass mix.Workload.zipf n in
+  List.mapi
+    (fun i (wp : Workload.program) ->
+      let result = Pipeline.compile pipeline wp.Workload.graph in
+      let p = result.Pipeline.program in
+      let wc = Plim_analyze.write_counts p in
+      let cells = Program.num_cells p in
+      { p_label = wp.Workload.label;
+        p_instructions = Program.length p;
+        p_cells = cells;
+        p_wmax = Array.fold_left max 0 wc;
+        p_mass = mass.(i);
+        p_fits = cells <= lines })
+    mix.Workload.programs
+
+let certify ?fault_seed:_ (cfg : Horizon.config) =
+  if cfg.Horizon.endurance <= 0.0 then
+    invalid_arg "Plim_certify.certify: endurance must be positive";
+  if cfg.Horizon.epoch_requests <= 0 then
+    invalid_arg "Plim_certify.certify: epoch_requests must be positive";
+  if cfg.Horizon.mix.Workload.programs = [] then
+    invalid_arg "Plim_certify.certify: empty mix";
+  let server = cfg.Horizon.server in
+  let strategy = cfg.Horizon.strategy in
+  let endurance = cfg.Horizon.endurance in
+  let requests = float_of_int cfg.Horizon.epoch_requests in
+  (* shard sizing, replayed from Server.materialize_fleet/Shard.create:
+     logical lines auto-size to the largest compiled program, measured
+     cells include the within-shard spare region *)
+  let probe = profile_mix server.Server.pipeline ~lines:max_int cfg.Horizon.mix in
+  let lines =
+    if server.Server.lines > 0 then server.Server.lines
+    else List.fold_left (fun acc p -> max acc p.p_cells) 1 probe
+  in
+  let programs = List.map (fun p -> { p with p_fits = p.p_cells <= lines }) probe in
+  let meas = lines + server.Server.cell_spares in
+  let cells = meas + if uses_start_gap strategy then 1 else 0 in
+  let physical = cells + cfg.Horizon.model_spares in
+  let total_shards = server.Server.shards + server.Server.spare_shards in
+  let shard0s =
+    List.init total_shards
+      (replay_shard ~spec:cfg.Horizon.fault_spec
+         ~model_spares:cfg.Horizon.model_spares ~cells)
+  in
+  let alive0 = List.length (List.filter (fun s -> s.s0_alive) shard0s) in
+  let capacity0 = float_of_int alive0 /. float_of_int total_shards in
+  (* fleet writes per epoch: executes wear exactly their static footprint
+     (compiles wear nothing), at most [requests] of them per epoch *)
+  let fitting = List.filter (fun p -> p.p_fits) programs in
+  let len_max = List.fold_left (fun acc p -> max acc p.p_instructions) 0 fitting in
+  let len_min =
+    match fitting with
+    | [] -> 0
+    | _ -> List.fold_left (fun acc p -> min acc p.p_instructions) max_int fitting
+  in
+  let all_fit = List.for_all (fun p -> p.p_fits) programs in
+  let writes_upper = requests *. float_of_int len_max in
+  let writes_lower =
+    (* 0 whenever some sampled epoch can legally wear nothing: redundant
+       compiles, or a program whose executes the shards reject *)
+    if cfg.Horizon.mix.Workload.compile_ratio > 0.0 || not all_fit then 0.0
+    else requests *. float_of_int len_min
+  in
+  (* leveling transform of the strategy, composed exactly like
+     Horizon.set_rates *)
+  let sg = if uses_start_gap strategy then 1.0 /. float_of_int cfg.Horizon.psi else 0.0 in
+  let wf =
+    if uses_wolfram strategy then
+      Wolfram.migration_overhead ~period:cfg.Horizon.wolfram_period ~lines:meas
+    else 0.0
+  in
+  let overhead = ((1.0 +. sg) *. (1.0 +. wf)) -. 1.0 in
+  (* per-cell rate upper bound: unmanaged wear concentrates an epoch's
+     executes on one shard's hottest cell; leveled wear is uniform over
+     the model lines with the overhead factored in *)
+  let wmax = List.fold_left (fun acc p -> max acc p.p_wmax) 0 fitting in
+  let rate_cell_upper =
+    match strategy with
+    | Horizon.No_leveling -> requests *. float_of_int wmax
+    | _ -> Lifetime.leveled_rate ~overhead ~cells ~total:writes_upper ()
+  in
+  let ttff_lower =
+    if rate_cell_upper <= 0.0 then infinity else endurance /. rate_cell_upper
+  in
+  (* pigeonhole upper: alive shards hold [alive0 * cells] mapped lines,
+     each absorbing < endurance before the first death, while fleet wear
+     accrues at >= writes_lower * (1 + overhead) per epoch *)
+  let wear_rate_lower = writes_lower *. (1.0 +. overhead) in
+  let ttff_upper =
+    if wear_rate_lower <= 0.0 || alive0 = 0 then infinity
+    else
+      float_of_int alive0 *. float_of_int cells *. endurance /. wear_rate_lower
+  in
+  (* capacity half-life: shard deaths needed to reach <= 1/2, and the
+     minimum line deaths that can cause them.  Under classic Start-Gap a
+     single wear death kills the whole shard (no wear-time retirement);
+     every other strategy must drain the shard's healthy spares first. *)
+  let deaths_to_half = alive0 - (total_shards / 2) in
+  let wear_deaths_to_kill s0 =
+    if strategy = Horizon.Start_gap then 1 else s0.s0_min_wear_deaths
+  in
+  let line_deaths_lower =
+    if deaths_to_half <= 0 then 0
+    else
+      let costs =
+        List.filter (fun s -> s.s0_alive) shard0s
+        |> List.map wear_deaths_to_kill
+        |> List.sort compare
+      in
+      List.filteri (fun i _ -> i < deaths_to_half) costs
+      |> List.fold_left ( + ) 0
+  in
+  let wear_rate_upper = writes_upper *. (1.0 +. overhead) in
+  let half_life_lower =
+    if capacity0 <= 0.5 then 0.0
+    else if wear_rate_upper <= 0.0 then infinity
+    else
+      Float.max ttff_lower
+        (float_of_int line_deaths_lower *. endurance /. wear_rate_upper)
+  in
+  let half_life_upper =
+    if capacity0 <= 0.5 then 0.0
+    else if wear_rate_lower <= 0.0 then infinity
+    else
+      float_of_int total_shards *. float_of_int physical *. endurance
+      /. wear_rate_lower
+  in
+  (* informational point estimate: expected fleet writes under the Zipf
+     mass, balanced over the surviving shards — never gated *)
+  let exec_share = 1.0 -. cfg.Horizon.mix.Workload.compile_ratio in
+  let expected_ttff =
+    if alive0 = 0 then infinity
+    else begin
+      let k0 = float_of_int alive0 in
+      let exp_rate =
+        match strategy with
+        | Horizon.No_leveling ->
+          let weighted =
+            List.fold_left
+              (fun acc p ->
+                if p.p_fits then acc +. (p.p_mass *. float_of_int p.p_wmax)
+                else acc)
+              0.0 programs
+          in
+          requests *. exec_share *. weighted /. k0
+        | _ ->
+          let total =
+            List.fold_left
+              (fun acc p ->
+                if p.p_fits then
+                  acc +. (p.p_mass *. float_of_int p.p_instructions)
+                else acc)
+              0.0 programs
+          in
+          Lifetime.leveled_rate ~overhead ~cells
+            ~total:(requests *. exec_share *. total /. k0)
+            ()
+      in
+      if exp_rate <= 0.0 then infinity else endurance /. exp_rate
+    end
+  in
+  { c_strategy = strategy;
+    c_fault_rate =
+      cfg.Horizon.fault_spec.Fault_model.sa0
+      +. cfg.Horizon.fault_spec.Fault_model.sa1;
+    c_endurance = endurance;
+    c_epoch_requests = cfg.Horizon.epoch_requests;
+    c_compile_ratio = cfg.Horizon.mix.Workload.compile_ratio;
+    c_zipf = cfg.Horizon.mix.Workload.zipf;
+    c_shards = server.Server.shards;
+    c_spare_shards = server.Server.spare_shards;
+    c_lines = lines;
+    c_meas = meas;
+    c_cells = cells;
+    c_physical = physical;
+    c_alive0 = alive0;
+    c_capacity0 = capacity0;
+    c_overhead = overhead;
+    c_writes = { lower = writes_lower; upper = writes_upper };
+    c_rate_cell_upper = rate_cell_upper;
+    c_ttff = { lower = ttff_lower; upper = ttff_upper };
+    c_half_life = { lower = half_life_lower; upper = half_life_upper };
+    c_deaths_to_half = max 0 deaths_to_half;
+    c_line_deaths_lower = line_deaths_lower;
+    c_expected_ttff = expected_ttff;
+    c_programs = programs }
+
+let grid ?fault_seed cfg ~strategies ~fault_rates =
+  List.concat_map
+    (fun strategy ->
+      List.map
+        (fun rate ->
+          let c =
+            { cfg with
+              Horizon.strategy;
+              fault_spec = Horizon.spec_of_rate ?seed:fault_seed rate }
+          in
+          (strategy, rate, certify c))
+        fault_rates)
+    strategies
+
+(* --- reporting ---------------------------------------------------------- *)
+
+let label c =
+  Printf.sprintf "%s/r%g" (Horizon.strategy_name c.c_strategy) c.c_fault_rate
+
+(* the schema carries no nulls or infinities: -1 encodes "unbounded" *)
+let num_or_sentinel v = if Float.is_finite v then v else -1.0
+
+let row_json ?label:lbl c =
+  let lbl = match lbl with Some l -> l | None -> label c in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "{\"schema\":\"plim-cert/v1\",\"label\":%s,\"strategy\":%s,\
+     \"fault_rate\":%.6g,\"endurance\":%.6g,\"epoch_requests\":%d,\
+     \"compile_ratio\":%.6g,\"zipf\":%.6g,\"shards\":%d,\"spare_shards\":%d,\
+     \"lines\":%d,\"meas\":%d,\"cells\":%d,\"physical\":%d,\"alive0\":%d,\
+     \"capacity0\":%.6g,\"overhead\":%.6g,\"writes_lower\":%.6g,\
+     \"writes_upper\":%.6g,\"rate_cell_upper\":%.6g,\"ttff_lower\":%.6g,\
+     \"ttff_upper\":%.6g,\"half_life_lower\":%.6g,\"half_life_upper\":%.6g,\
+     \"deaths_to_half\":%d,\"line_deaths_lower\":%d,\"expected_ttff\":%.6g,\
+     \"programs\":["
+    (Plim_util.Jsonx.quote lbl)
+    (Plim_util.Jsonx.quote (Horizon.strategy_name c.c_strategy))
+    c.c_fault_rate c.c_endurance c.c_epoch_requests c.c_compile_ratio c.c_zipf
+    c.c_shards c.c_spare_shards c.c_lines c.c_meas c.c_cells c.c_physical
+    c.c_alive0 c.c_capacity0 c.c_overhead c.c_writes.lower c.c_writes.upper
+    c.c_rate_cell_upper
+    (num_or_sentinel c.c_ttff.lower)
+    (num_or_sentinel c.c_ttff.upper)
+    (num_or_sentinel c.c_half_life.lower)
+    (num_or_sentinel c.c_half_life.upper)
+    c.c_deaths_to_half c.c_line_deaths_lower
+    (num_or_sentinel c.c_expected_ttff);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"label\":%s,\"instructions\":%d,\"cells\":%d,\"wmax\":%d,\
+         \"mass\":%.6g,\"fits\":%b}"
+        (Plim_util.Jsonx.quote p.p_label)
+        p.p_instructions p.p_cells p.p_wmax p.p_mass p.p_fits)
+    c.c_programs;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* --- the bracket checker ------------------------------------------------ *)
+
+(* relative slack absorbing the simulator's death-event epsilon
+   (1e-9 * endurance in wear units) and float accumulation *)
+let slack v = 1e-6 *. Float.max (Float.abs v) 1.0
+
+let check_bound ~what ~stopped_at bound = function
+  | Some t ->
+    if t +. slack t < bound.lower then
+      Error
+        (Printf.sprintf "%s %.6g below static lower bound %.6g" what t
+           bound.lower)
+    else if t -. slack t > bound.upper then
+      Error
+        (Printf.sprintf "%s %.6g above static upper bound %.6g" what t
+           bound.upper)
+    else Ok ()
+  | None ->
+    (* never happened: only consistent if the campaign stopped before the
+       static upper bound forced the event *)
+    if stopped_at -. slack stopped_at > bound.upper then
+      Error
+        (Printf.sprintf
+           "%s never happened in %.6g epochs but the static upper bound is %.6g"
+           what stopped_at bound.upper)
+    else Ok ()
+
+let check_result c (r : Horizon.result) =
+  let ( let* ) = Result.bind in
+  let* () =
+    if c.c_strategy <> r.Horizon.r_strategy then
+      Error
+        (Printf.sprintf "strategy mismatch: certificate %s, result %s"
+           (Horizon.strategy_name c.c_strategy)
+           (Horizon.strategy_name r.Horizon.r_strategy))
+    else Ok ()
+  in
+  let* () =
+    if Float.abs (c.c_endurance -. r.Horizon.r_endurance) > slack c.c_endurance
+    then
+      Error
+        (Printf.sprintf "endurance mismatch: certificate %.6g, result %.6g"
+           c.c_endurance r.Horizon.r_endurance)
+    else Ok ()
+  in
+  let* () =
+    if Float.abs (c.c_fault_rate -. r.Horizon.r_fault_rate) > 1e-9 then
+      Error
+        (Printf.sprintf "fault-rate mismatch: certificate %.6g, result %.6g"
+           c.c_fault_rate r.Horizon.r_fault_rate)
+    else Ok ()
+  in
+  let stopped_at = r.Horizon.r_epochs in
+  let* () = check_bound ~what:"ttff" ~stopped_at c.c_ttff r.Horizon.r_ttff in
+  check_bound ~what:"half-life" ~stopped_at c.c_half_life r.Horizon.r_half_life
+
+let find cells lbl =
+  let matches c =
+    let cl = label c in
+    String.equal cl lbl
+    || String.length lbl > String.length cl
+       && String.sub lbl 0 (String.length cl + 1) = cl ^ "/"
+  in
+  List.find_map (fun (_, _, c) -> if matches c then Some c else None) cells
+
+let check_row_json cells row =
+  let ( let* ) = Result.bind in
+  let str k = Option.bind (Json.member k row) Json.to_string in
+  let num k = Option.bind (Json.member k row) Json.to_float in
+  let* () =
+    match str "schema" with
+    | Some "plim-horizon/v1" -> Ok ()
+    | Some s -> Error (Printf.sprintf "row schema %S is not plim-horizon/v1" s)
+    | None -> Error "row has no schema field"
+  in
+  let* lbl =
+    match str "label" with Some l -> Ok l | None -> Error "row has no label"
+  in
+  let* c =
+    match find cells lbl with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "%s: no certificate for this cell" lbl)
+  in
+  let* epochs =
+    match num "epochs" with
+    | Some e -> Ok e
+    | None -> Error (lbl ^ ": row has no epochs field")
+  in
+  let* () =
+    match num "endurance" with
+    | Some e when Float.abs (e -. c.c_endurance) <= slack c.c_endurance -> Ok ()
+    | Some e ->
+      Error
+        (Printf.sprintf "%s: row endurance %.6g, certificate %.6g" lbl e
+           c.c_endurance)
+    | None -> Error (lbl ^ ": row has no endurance field")
+  in
+  (* -1 is the horizon sentinel for "did not happen before the stop" *)
+  let lifetime k =
+    match num k with
+    | Some v when v >= 0.0 -> Ok (Some v)
+    | Some _ -> Ok None
+    | None -> Error (Printf.sprintf "%s: row has no %s field" lbl k)
+  in
+  let* ttff = lifetime "ttff_epochs" in
+  let* half_life = lifetime "half_life_epochs" in
+  let* () =
+    Result.map_error (fun e -> lbl ^ ": " ^ e)
+      (check_bound ~what:"ttff" ~stopped_at:epochs c.c_ttff ttff)
+  in
+  let* () =
+    Result.map_error (fun e -> lbl ^ ": " ^ e)
+      (check_bound ~what:"half-life" ~stopped_at:epochs c.c_half_life half_life)
+  in
+  Ok lbl

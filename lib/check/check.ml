@@ -176,6 +176,18 @@ let geometry_check name program acc =
         | Error e ->
           fail name "geometry" "[%s] invalid schedule: %s" gname e :: acc
       in
+      (* independent happens-before cross-check: the certify race
+         detector derives hazard edges from the def-use chains, a
+         different code path from validate's flat-stream scan — the
+         scheduler must satisfy both *)
+      let acc =
+        match Plim_certify.Race.check_schedule program sched with
+        | Ok () -> acc
+        | Error e ->
+          fail name "geometry" "[%s] race detector rejects scheduler output: %s"
+            gname e
+          :: acc
+      in
       let groups = Geometry.num_groups sched in
       let acc =
         if groups > n_instr then

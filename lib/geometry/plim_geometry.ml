@@ -150,6 +150,18 @@ let schedule g (p : Program.t) =
     Ok { s_grid = g; s_groups = Array.of_list (List.rev !groups); s_cross_row = !cross_row }
   end
 
+let of_groups g (p : Program.t) groups =
+  let n = Array.length p.Program.instrs in
+  let cross_row = ref 0 in
+  Array.iter
+    (Array.iter (fun i ->
+         if i >= 0 && i < n && home_row g p.Program.instrs.(i) = None then
+           incr cross_row))
+    groups;
+  { s_grid = g;
+    s_groups = Array.map Array.copy groups;
+    s_cross_row = !cross_row }
+
 let num_groups s = Array.length s.s_groups
 
 let max_group_size s =

@@ -75,6 +75,15 @@ val schedule : grid -> Plim_isa.Program.t -> (schedule, string) result
     schedule.  [Error] if the program's [num_cells] exceeds the grid
     area. *)
 
+val of_groups : grid -> Plim_isa.Program.t -> int array array -> schedule
+(** Wrap an {e arbitrary} grouping claim as a schedule, {b without any
+    checking} — the groups are copied verbatim and [s_cross_row] is
+    recomputed from the program.  This is the adversarial constructor:
+    schedule fuzzers build hazard-violating mutants with it and assert
+    {!validate} (and the independent race detector in [Plim_certify])
+    reject them.  Never feed an unvalidated [of_groups] schedule to
+    grouped execution. *)
+
 val num_groups : schedule -> int
 (** The latency of the schedule, in instruction groups. *)
 

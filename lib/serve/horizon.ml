@@ -458,8 +458,15 @@ let years_of r epochs = epochs *. r.r_epoch_seconds /. seconds_per_year
 let label r = Printf.sprintf "%s/r%g" (strategy_name r.r_strategy) r.r_fault_rate
 
 (* [-1] encodes "did not happen before the campaign stopped" — the schema
-   has no nulls so the rows stay greppable and diffable. *)
-let opt_epochs = function Some e -> e | None -> -1.0
+   has no nulls so the rows stay greppable and diffable.  Non-finite
+   values fold into the same sentinel: Lifetime.epochs_to_threshold is
+   contracted to return bare [infinity] for "never", and "never" and
+   "not yet" mean the same thing to a row reader. *)
+let sentinel_epochs = function
+  | Some e when Float.is_finite e -> e
+  | Some _ | None -> -1.0
+
+let opt_epochs = sentinel_epochs
 
 let decimate ~keep xs =
   let n = List.length xs in
@@ -472,10 +479,9 @@ let decimate ~keep xs =
 let row_json ?label:lbl r =
   let lbl = match lbl with Some l -> l | None -> label r in
   let b = Buffer.create 1024 in
-  let opt_years = function Some e -> years_of r e | None -> -1.0 in
-  let proj = function
-    | Some e -> years_of r e *. r.r_project_factor
-    | None -> -1.0
+  let opt_years e = sentinel_epochs (Option.map (years_of r) e) in
+  let proj e =
+    sentinel_epochs (Option.map (fun e -> years_of r e *. r.r_project_factor) e)
   in
   Buffer.add_string b
     (Printf.sprintf

@@ -43,9 +43,17 @@ val fast_forward_into : epochs:float -> wear:float array -> rate:float array -> 
 
 val epochs_to_threshold : threshold:float -> wear:float array -> rate:float array -> float
 (** Smallest [e >= 0] such that some cell reaches the threshold:
-    [wear.(i) +. e *. rate.(i) >= threshold].  [infinity] when no cell
-    ever reaches it (all rates zero or array empty); [0] when a cell is
-    already at or past the threshold. *)
+    [wear.(i) +. e *. rate.(i) >= threshold].  [0] when a cell is
+    already at or past the threshold.
+
+    {b Contract:} the return value is a bare [infinity] — not a sentinel,
+    not an option — whenever no cell can ever reach the threshold: every
+    rate is [0.0] (an idle fleet between sampled epochs) or the arrays
+    are empty.  Callers doing arithmetic can rely on IEEE semantics
+    ([min x infinity = x], so an idle shard never wins the
+    next-event race); callers {e serializing} must map non-finite values
+    themselves — {!Plim_serve.Horizon.sentinel_epochs} is the canonical
+    mapping to the [-1] JSON sentinel. *)
 
 val leveled_rate : ?overhead:float -> cells:int -> total:float -> unit -> float
 (** Stationary per-cell write rate of an ideal levelling layer spreading

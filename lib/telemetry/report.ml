@@ -167,6 +167,33 @@ let geometry_rows_of j =
           r_metrics = geometry_metrics_of row })
       rows
 
+(* plim-cert/v1 rows: static wear-bound certificates as cert:<label>
+   pseudo-benchmarks.  Only cost-like quantities gate (a larger write
+   ceiling, per-cell rate bound or leveling overhead is a worse static
+   guarantee); the lifetime brackets are better-larger and [-1]-when-
+   unbounded, so they stay out of the regression comparison. *)
+let cert_metrics_of row =
+  let take name v acc = match v with Some f -> (name, f) :: acc | None -> acc in
+  []
+  |> take "writes_upper" (num "writes_upper" row)
+  |> take "rate_cell_upper" (num "rate_cell_upper" row)
+  |> take "overhead" (num "overhead" row)
+  |> List.rev
+
+let cert_rows_of j =
+  match Option.bind (Json.member "cert" j) Json.to_list with
+  | None -> []
+  | Some rows ->
+    List.map
+      (fun row ->
+        let label =
+          Option.value ~default:"?"
+            (Option.bind (Json.member "label" row) Json.to_string)
+        in
+        { r_benchmark = "cert:" ^ label; r_config = "cert";
+          r_metrics = cert_metrics_of row })
+      rows
+
 let rows_of j =
   match Option.bind (Json.member "benchmarks" j) Json.to_list with
   | None -> Error "no \"benchmarks\" array (not a plim-bench file?)"
@@ -193,7 +220,8 @@ let rows_of j =
             configs)
         benchmarks
     in
-    Ok (rows @ serve_rows_of j @ horizon_rows_of j @ geometry_rows_of j)
+    Ok (rows @ serve_rows_of j @ horizon_rows_of j @ cert_rows_of j
+        @ geometry_rows_of j)
 
 let key r = r.r_benchmark ^ "/" ^ r.r_config
 

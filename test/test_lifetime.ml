@@ -78,10 +78,32 @@ let test_epochs_to_threshold_edges () =
   let t = Lifetime.epochs_to_threshold ~threshold:10.0 in
   check_bool "already over threshold" true
     (t ~wear:[| 11.0; 0.0 |] ~rate:[| 0.0; 1.0 |] = 0.0);
+  (* the documented contract: a bare IEEE infinity — not nan, not a
+     sentinel — whenever no cell can ever reach the threshold *)
   check_bool "no positive rate" true
     (t ~wear:[| 1.0; 2.0 |] ~rate:[| 0.0; 0.0 |] = infinity);
+  check_bool "empty arrays" true (t ~wear:[||] ~rate:[||] = infinity);
+  check_bool "infinity composes with min" true
+    (Float.min (t ~wear:[||] ~rate:[||]) 7.0 = 7.0);
   Alcotest.(check (float 1e-12)) "simple crossing" 4.0
     (t ~wear:[| 2.0 |] ~rate:[| 2.0 |])
+
+(* the -1 JSON sentinel is the serialization of that bare infinity (and
+   of None): Horizon.sentinel_epochs is the one mapping every emitter
+   uses *)
+let test_sentinel_epochs () =
+  Alcotest.(check (float 0.0)) "finite passes through" 42.5
+    (Horizon.sentinel_epochs (Some 42.5));
+  Alcotest.(check (float 0.0)) "zero passes through" 0.0
+    (Horizon.sentinel_epochs (Some 0.0));
+  Alcotest.(check (float 0.0)) "None is -1" (-1.0)
+    (Horizon.sentinel_epochs None);
+  Alcotest.(check (float 0.0)) "infinity is -1" (-1.0)
+    (Horizon.sentinel_epochs (Some infinity));
+  Alcotest.(check (float 0.0)) "neg_infinity is -1" (-1.0)
+    (Horizon.sentinel_epochs (Some neg_infinity));
+  Alcotest.(check (float 0.0)) "nan is -1" (-1.0)
+    (Horizon.sentinel_epochs (Some Float.nan))
 
 let test_leveled_rate () =
   Alcotest.(check (float 1e-12)) "uniform split" 25.0
@@ -300,6 +322,8 @@ let () =
           Alcotest.test_case "fast_forward edge cases" `Quick test_fast_forward_edges;
           Alcotest.test_case "epochs_to_threshold edge cases" `Quick
             test_epochs_to_threshold_edges;
+          Alcotest.test_case "sentinel_epochs encoding" `Quick
+            test_sentinel_epochs;
           Alcotest.test_case "leveled_rate" `Quick test_leveled_rate;
           Alcotest.test_case "half_life" `Quick test_half_life ] );
       ( "closed-form-vs-replay",
